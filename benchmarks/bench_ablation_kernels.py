@@ -1,0 +1,197 @@
+"""Kernel ablations behind DESIGN.md's A1-A3.
+
+- **A1** — *uniformisation is exact under non-stationary rates*: on a
+  step-bias schedule its empirical occupancy trajectory matches both the
+  independent piecewise-constant exact solver and the master-equation
+  ODE.
+- **A2** — *the Ye-et-al. white-noise baseline cannot track bias*: under
+  the same step schedule its occupancy stays pinned near its calibration
+  point while the true statistics (and SAMURAI) swing from ~0.9 to ~0.1.
+- **A3** — *the uniformisation bound only costs candidates*: inflating
+  ``lambda*`` by 3x/10x multiplies the candidate count proportionally
+  while every statistic stays put (and the paper's Eq.-1 sum is the
+  cheapest valid bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table, write_csv
+from repro.markov.analytic import occupancy_probability
+from repro.markov.piecewise import simulate_piecewise
+from repro.markov.propensity import (
+    CallableTwoStatePropensity,
+    ConstantTwoStatePropensity,
+)
+from repro.markov.uniformization import simulate_trap, simulate_trap_detailed
+
+#: The step-bias schedule shared by A1/A2: capture-dominated for the
+#: first half, emission-dominated for the second.
+TOTAL_RATE = 2000.0
+T_SWITCH = 0.05
+T_STOP = 0.1
+N_RUNS = 400
+GRID = np.linspace(0.0, T_STOP, 41)
+
+
+def _capture(t):
+    return np.where(np.asarray(t) < T_SWITCH, 0.9, 0.1) * TOTAL_RATE
+
+
+def _emission(t):
+    return TOTAL_RATE - _capture(t)
+
+
+def _empirical_occupancy(simulate_one, n_runs: int = N_RUNS) -> np.ndarray:
+    counts = np.zeros_like(GRID)
+    for _ in range(n_runs):
+        counts += simulate_one().state_at(GRID)
+    return counts / n_runs
+
+
+def test_a1_uniformisation_matches_exact_solvers(benchmark, rng, out_dir):
+    propensity = CallableTwoStatePropensity(_capture, _emission,
+                                            rate_bound=TOTAL_RATE)
+
+    def uniformisation_batch():
+        return _empirical_occupancy(
+            lambda: simulate_trap(propensity, 0.0, T_STOP, rng))
+
+    uni = benchmark.pedantic(uniformisation_batch, rounds=1, iterations=1)
+    breakpoints = np.array([0.0, T_SWITCH, T_STOP])
+    captures = np.array([0.9, 0.1]) * TOTAL_RATE
+    emissions = TOTAL_RATE - captures
+    pw = _empirical_occupancy(
+        lambda: simulate_piecewise(breakpoints, captures, emissions, rng))
+    ode = occupancy_probability(GRID, _capture, _emission, 0.0)
+
+    err_uni = float(np.max(np.abs(uni - ode)))
+    err_pw = float(np.max(np.abs(pw - ode)))
+    print(f"\nA1 max |empirical - ODE|: uniformisation {err_uni:.3f}, "
+          f"piecewise oracle {err_pw:.3f} (Monte-Carlo floor ~"
+          f"{3.0 / np.sqrt(N_RUNS):.3f})")
+    write_csv(f"{out_dir}/ablation_a1_occupancy.csv",
+              ["t", "ode", "uniformisation", "piecewise"],
+              np.column_stack([GRID, ode, uni, pw]).tolist())
+    # Both exact methods sit at the Monte-Carlo noise floor.
+    floor = 4.0 / np.sqrt(N_RUNS)
+    assert err_uni < floor
+    assert err_pw < floor
+    assert np.max(np.abs(uni - pw)) < 2 * floor
+
+
+def test_a2_ye_baseline_cannot_track_bias(benchmark, rng, out_dir):
+    """SAMURAI follows the switching statistics; the white-noise
+    baseline stays near its frozen calibration point."""
+    from repro.devices.mosfet import MosfetParams
+    from repro.devices.technology import TECH_90NM
+    from repro.rtn.ye_baseline import YeBaselineGenerator
+    from repro.traps.band import crossing_energy
+    from repro.traps.propensity import rates_from_bias
+    from repro.traps.trap import Trap
+
+    tech = TECH_90NM
+    device = MosfetParams.nominal(tech, "n")
+    y = 1.5e-9
+    trap = Trap(y_tr=y, e_tr=crossing_energy(0.6, y, tech))
+    # Bias switches from 0.7 V (fills) to 0.5 V (empties); the baseline
+    # was calibrated at 0.6 V.
+    lam_hi = rates_from_bias(0.7, trap, tech)
+    lam_lo = rates_from_bias(0.5, trap, tech)
+    total = sum(lam_hi)
+    t_switch = 200.0 / total
+    t_stop = 2.0 * t_switch
+
+    def capture(t):
+        return np.where(np.asarray(t) < t_switch, lam_hi[0], lam_lo[0])
+
+    def emission(t):
+        return np.where(np.asarray(t) < t_switch, lam_hi[1], lam_lo[1])
+
+    propensity = CallableTwoStatePropensity(capture, emission,
+                                            rate_bound=total)
+    probe_early = np.linspace(0.5 * t_switch, 0.99 * t_switch, 16)
+    probe_late = np.linspace(1.5 * t_switch, 1.99 * t_switch, 16)
+
+    def samurai_fills():
+        early = late = 0.0
+        runs = 60
+        for _ in range(runs):
+            trace = simulate_trap(propensity, 0.0, t_stop, rng)
+            early += trace.state_at(probe_early).mean()
+            late += trace.state_at(probe_late).mean()
+        return early / runs, late / runs
+
+    samurai_early, samurai_late = benchmark.pedantic(samurai_fills,
+                                                     rounds=1, iterations=1)
+    generator = YeBaselineGenerator(device, trap, 0.6, 1e-4)
+    ye_early = ye_late = 0.0
+    runs = 60
+    for _ in range(runs):
+        occupancy = generator.generate_occupancy(t_stop, rng)
+        ye_early += occupancy.state_at(probe_early).mean()
+        ye_late += occupancy.state_at(probe_late).mean()
+    ye_early /= runs
+    ye_late /= runs
+
+    true_early = lam_hi[0] / total
+    true_late = lam_lo[0] / sum(lam_lo)
+    rows = [["true statistics", f"{true_early:.2f}", f"{true_late:.2f}"],
+            ["SAMURAI", f"{samurai_early:.2f}", f"{samurai_late:.2f}"],
+            ["Ye white-noise baseline", f"{ye_early:.2f}", f"{ye_late:.2f}"]]
+    print()
+    print(format_table(["method", "fill @ 0.7 V phase", "fill @ 0.5 V phase"],
+                       rows, title="A2: non-stationarity tracking"))
+    write_csv(f"{out_dir}/ablation_a2_tracking.csv",
+              ["method", "early", "late"], rows)
+
+    assert abs(samurai_early - true_early) < 0.1
+    assert abs(samurai_late - true_late) < 0.1
+    # The baseline misses the swing by construction.
+    swing_true = true_early - true_late
+    swing_ye = ye_early - ye_late
+    assert swing_true > 0.5
+    assert abs(swing_ye) < 0.5 * swing_true
+
+
+def test_a3_rate_bound_costs_candidates_not_accuracy(benchmark, rng,
+                                                     out_dir):
+    lam_c, lam_e = 1200.0, 800.0
+    propensity = ConstantTwoStatePropensity(lam_c, lam_e)
+    t_stop = 5.0
+    inflations = (1.0, 3.0, 10.0)
+
+    def run_all():
+        rows = []
+        for inflation in inflations:
+            bound = (lam_c + lam_e) * inflation
+            trace, stats = simulate_trap_detailed(
+                propensity, 0.0, t_stop, rng, rate_bound=bound)
+            rows.append({
+                "inflation": inflation,
+                "candidates": stats.n_candidates,
+                "accept_ratio": stats.acceptance_ratio,
+                "occupancy": trace.fraction_filled(),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["lambda* inflation", "candidates", "accept ratio", "occupancy"],
+        [[r["inflation"], r["candidates"], f"{r['accept_ratio']:.3f}",
+          f"{r['occupancy']:.3f}"] for r in rows],
+        title="A3: uniformisation bound ablation"))
+    write_csv(f"{out_dir}/ablation_a3_bound.csv", list(rows[0]),
+              [list(r.values()) for r in rows])
+
+    base = rows[0]
+    expected_occupancy = lam_c / (lam_c + lam_e)
+    for record in rows:
+        # Statistics unchanged under any valid bound.
+        assert abs(record["occupancy"] - expected_occupancy) < 0.03
+        # Cost scales with the bound.
+        expected_candidates = base["candidates"] * record["inflation"]
+        assert record["candidates"] == \
+            __import__("pytest").approx(expected_candidates, rel=0.1)

@@ -1,0 +1,68 @@
+"""Extension E6: RTN-induced PLL cycle slipping (the paper's conjecture).
+
+Paper conclusions: "We also conjecture that RTN causes cycle slipping in
+Phase Locked Loops (PLLs)."  The phase-domain charge-pump loop of
+:mod:`repro.oscillators.pll` lets the conjecture be tested:
+
+- RTN frequency steps inside the loop's pull-out range are absorbed —
+  the control voltage becomes a telegraph wave, no slips;
+- steps beyond pull-out convert trap transitions into cycle slips, at a
+  rate that grows with the step size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table, write_csv
+from repro.devices.technology import TECH_90NM
+from repro.oscillators.pll import (
+    PllSpec,
+    pull_out_frequency,
+    simulate_pll_with_rtn,
+)
+from repro.traps.band import crossing_energy
+from repro.traps.trap import Trap
+
+T_STOP = 4e-5
+FACTORS = (0.3, 1.5, 3.0, 8.0)
+
+
+def vco_trap() -> Trap:
+    tech = TECH_90NM
+    y = np.log(1.0 / (tech.tau0 * 2e6)) / tech.gamma_tunnel
+    return Trap(y_tr=y, e_tr=crossing_energy(0.45, y, tech))
+
+
+def test_ext_pll_cycle_slipping(benchmark, rng, out_dir):
+    spec = PllSpec()
+    po = pull_out_frequency(spec)
+    dt = 0.02 / spec.natural_frequency
+    trap = vco_trap()
+
+    def run():
+        rows = []
+        for factor in FACTORS:
+            result = simulate_pll_with_rtn(
+                spec, trap, TECH_90NM, np.random.default_rng(3), T_STOP,
+                dt, delta_f=factor * po)
+            rows.append((factor, result.occupancy.n_transitions,
+                         result.n_slips))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["delta_f / pull-out", "trap transitions", "cycle slips"],
+        [[f"{f:.1f}", t, s] for f, t, s in rows],
+        title=f"E6: PLL cycle slips (pull-out {po:.3e} Hz)"))
+    write_csv(f"{out_dir}/ext_pll_slips.csv",
+              ["factor", "transitions", "slips"], rows)
+
+    slips = {factor: s for factor, __, s in rows}
+    # Inside pull-out: absorbed, no slips.
+    assert slips[0.3] == 0
+    # Beyond pull-out: the conjecture holds — slips occur...
+    assert slips[3.0] > 0
+    # ...and escalate with the RTN amplitude.
+    assert slips[8.0] > slips[3.0] > slips[1.5]

@@ -1,0 +1,78 @@
+"""Extension E3: RTN-induced period jitter in a ring oscillator.
+
+Paper future-work #4: "RTN is also known to impact ring oscillators";
+the paper conjectures RTN-driven cycle slipping in PLLs.  This bench
+runs the live-coupled ring (the oscillator's bias is never stationary,
+so only the coupled treatment applies) with one pull-down trap and
+measures the period conditioned on the trap state:
+
+- the ring oscillates cleanly without RTN (sub-0.1% numerical jitter);
+- with an accelerated trap, cycles started with the trap *filled* are
+  measurably longer than cycles started with it *empty* — RTN becomes
+  a two-level period modulation, the oscillator-domain analogue of the
+  two-level drain-current noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table, write_csv
+from repro.devices.technology import TECH_90NM
+from repro.oscillators.ring import (
+    build_ring_oscillator,
+    measure_periods,
+    run_ring_with_rtn,
+)
+from repro.spice.transient import TransientOptions, simulate_transient
+from repro.traps.band import crossing_energy
+from repro.traps.trap import Trap
+
+RTN_SCALE = 150.0
+SEED = 5  # pinned: the trap visits both states inside the window
+
+
+def test_ext_ring_period_modulation(benchmark, out_dir):
+    ring = build_ring_oscillator(TECH_90NM)
+
+    def run():
+        clean = simulate_transient(
+            ring.circuit, 3e-9, 2e-12,
+            initial_voltages=ring.initial_voltages(),
+            options=TransientOptions(record_every=2))
+        clean_periods = measure_periods(clean, "n0", 0.5 * ring.vdd)
+        y = 0.35e-9
+        trap = Trap(y_tr=y, e_tr=crossing_energy(0.5, y, TECH_90NM))
+        noisy_ring = build_ring_oscillator(TECH_90NM)
+        noisy = run_ring_with_rtn(noisy_ring, trap, stage=0,
+                                  rng=np.random.default_rng(SEED),
+                                  t_stop=6e-9, dt=3e-12,
+                                  rtn_scale=RTN_SCALE, record_every=2)
+        return clean_periods, noisy
+
+    clean_periods, noisy = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["free-running", f"{clean_periods.mean() * 1e12:.2f}",
+         f"{clean_periods.std() / clean_periods.mean():.2e}"],
+        ["trap empty", f"{noisy.period_when_empty * 1e12:.2f}", "-"],
+        ["trap filled", f"{noisy.period_when_filled * 1e12:.2f}", "-"],
+    ]
+    print()
+    print(format_table(["condition", "period [ps]", "rel. jitter"],
+                       rows, title=f"E3: ring period vs trap state "
+                                   f"(x{RTN_SCALE:.0f})"))
+    write_csv(f"{out_dir}/ext_ring_periods.csv",
+              ["cycle", "period_s"],
+              list(enumerate(noisy.periods.tolist())))
+
+    # Clean ring: only numerical jitter.
+    assert clean_periods.std() / clean_periods.mean() < 1e-3
+    # The trap visited both states and the filled state slows the ring.
+    assert noisy.occupancy.n_transitions >= 1
+    assert noisy.period_when_filled > noisy.period_when_empty
+    modulation = noisy.period_when_filled / noisy.period_when_empty - 1.0
+    assert 0.001 < modulation < 0.2
+    # The empty-state period matches the free-running ring.
+    assert abs(noisy.period_when_empty - clean_periods.mean()) \
+        < 0.02 * clean_periods.mean()

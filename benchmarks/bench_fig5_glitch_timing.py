@@ -1,0 +1,131 @@
+"""Paper Fig. 5: glitch *timing* decides the write outcome.
+
+Fig. 5 shows BSIM SPICE runs of a write-1 under three ``I_RTN``
+scenarios with the pass transistor M1 (Fig. 4's current-source model):
+
+- no glitch -> clean write;
+- a glitch that starts after WL assert and ends *before* WL deassert ->
+  the write is slowed ("Q does not assume its correct value until long
+  after WL is reset");
+- a glitch that starts just before WL deassert and continues past it ->
+  a write error.
+
+The load-bearing point is that one and the same glitch amplitude
+produces all three outcomes purely as a function of timing — the
+paper's "critical moments".  This bench reproduces the triptych on our
+substitute cell at a fixed 6 uA amplitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiments import fig8_cell_spec, fig8_config
+from repro.core.report import format_table, write_csv
+from repro.spice.elements import CurrentSource
+from repro.spice.sources import PULSE
+from repro.spice.transient import TransientOptions, simulate_transient
+from repro.sram.cell import build_sram_cell
+from repro.sram.detectors import classify_operations
+from repro.sram.patterns import build_pattern_waveforms, write_pattern
+
+GLITCH_AMP = 6e-6  # the same amplitude in every scenario
+
+SPEC = fig8_cell_spec()
+PATTERN = write_pattern([1], cycle=4e-9, wl_delay=1e-9, wl_width=0.4e-9,
+                        edge_time=0.05e-9)
+THRESHOLDS = fig8_config().thresholds
+
+
+def run_scenario(glitch: tuple | None):
+    """Simulate one write-1 with an optional (start, width) M1 glitch."""
+    cell = build_sram_cell(SPEC)
+    waves = build_pattern_waveforms(PATTERN, cell.vdd)
+    cell.set_stimuli(waves.wl, waves.bl, waves.blb)
+    if glitch is not None:
+        start, width = glitch
+        CurrentSource(
+            "Iglitch", cell.circuit, "q", "bl",
+            PULSE(0.0, GLITCH_AMP, delay=start, rise=1e-11, fall=1e-11,
+                  width=width))
+    waveform = simulate_transient(
+        cell.circuit, waves.duration, waves.suggested_dt,
+        initial_voltages=cell.initial_voltages(0),
+        options=TransientOptions(record_every=2))
+    result = classify_operations(waveform, waves.schedule, cell.vdd,
+                                 thresholds=THRESHOLDS)[0]
+    return result, waveform
+
+
+def test_fig5_glitch_timing_triptych(benchmark, out_dir):
+    schedule = PATTERN.schedule()[0]
+    wl_span = schedule.wl_off - schedule.wl_on
+    scenarios = [
+        ("no glitch", None),
+        ("glitch inside WL window", (schedule.wl_on, wl_span - 0.05e-9)),
+        ("glitch spans WL deassert", (schedule.wl_off - 0.2e-9, 1e-9)),
+    ]
+
+    def run_all():
+        return [(label, *run_scenario(glitch))
+                for label, glitch in scenarios]
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    csv_rows = []
+    for label, result, waveform in outcomes:
+        settle = None if result.settle_time is None \
+            else f"{result.settle_time * 1e9:+.2f} ns"
+        rows.append([label, result.outcome.value, f"{result.final_q:.3f}",
+                     settle])
+        for t, q in zip(waveform.times[::10], waveform["q"][::10]):
+            csv_rows.append([label, t, q])
+    print()
+    print(format_table(
+        ["scenario (same 6 uA amplitude)", "outcome", "final Q [V]",
+         "settle after WL reset"],
+        rows, title="Fig. 5: write outcome vs glitch timing"))
+    write_csv(f"{out_dir}/fig5_q_trajectories.csv",
+              ["scenario", "time_s", "q_V"], csv_rows)
+
+    verdicts = {label: result.outcome.value
+                for label, result, __ in outcomes}
+    assert verdicts["no glitch"] == "ok"
+    assert verdicts["glitch inside WL window"] == "slow"
+    assert verdicts["glitch spans WL deassert"] == "error"
+    # The error case really stored the wrong bit.
+    error_result = outcomes[2][1]
+    assert error_result.final_q < SPEC.supply / 2.0
+
+
+def test_fig5_amplitude_threshold(benchmark, out_dir):
+    """Below some amplitude even the worst-timed glitch is harmless —
+    the margin the Fig. 2 stack quantifies in V_dd terms."""
+    schedule = PATTERN.schedule()[0]
+
+    def verdict_at(amp: float) -> str:
+        global GLITCH_AMP
+        original = GLITCH_AMP
+        try:
+            # run_scenario reads the module constant
+            globals()["GLITCH_AMP"] = amp
+            result, __ = run_scenario((schedule.wl_off - 0.2e-9, 1e-9))
+        finally:
+            globals()["GLITCH_AMP"] = original
+        return result.outcome.value
+
+    def sweep():
+        return [(amp, verdict_at(amp)) for amp in
+                (1e-6, 2e-6, 4e-6, 8e-6)]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(["amplitude [A]", "outcome"],
+                       [[f"{a:.0e}", v] for a, v in results],
+                       title="Fig. 5 extension: amplitude threshold"))
+    write_csv(f"{out_dir}/fig5_amplitude_threshold.csv",
+              ["amplitude_A", "outcome"], results)
+    verdicts = [v for __, v in results]
+    assert verdicts[0] == "ok"          # small glitches harmless
+    assert verdicts[-1] == "error"      # large ones fatal
+    assert verdicts == sorted(verdicts, key=("ok", "slow", "error").index)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper figure's rows/series: it prints an
+ASCII table (visible with ``pytest benchmarks/ -s``), writes the series
+to ``benchmarks/out/*.csv``, asserts the figure's *shape* claims, and
+times a representative kernel through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20110314)
+
+
+@pytest.fixture
+def out_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Accelerated RTN testing: failure probability vs acceleration factor.
+
+The paper (§IV-B) scales its generated ``I_RTN`` traces by 30 to make
+the rare write-error event visible, and points to accelerated-testing
+techniques (its ref [14], Toh et al.) as the measurement-world
+equivalent.  This example sweeps the acceleration factor and estimates
+the per-pattern failure probability at each level — the curve an
+accelerated test extrapolates down to use conditions.
+
+Run:  python examples/accelerated_testing.py      (~2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import run_methodology
+from repro.core.experiments import fig8_cell_spec, fig8_config, fig8_pattern
+from repro.core.report import format_table
+
+SCALES = (1.0, 10.0, 20.0, 30.0)
+SEEDS = range(6)
+
+pattern = fig8_pattern()
+spec = fig8_cell_spec()
+n_slots = len(pattern.operations)
+
+rows = []
+for scale in SCALES:
+    errors = slows = 0
+    for seed in SEEDS:
+        result = run_methodology(pattern, np.random.default_rng(seed),
+                                 spec=spec,
+                                 config=fig8_config(rtn_scale=scale))
+        counts = result.rtn_counts
+        errors += counts["error"]
+        slows += counts["slow"]
+    total = len(SEEDS) * n_slots
+    rows.append([f"x{scale:.0f}", f"{slows}/{total}", f"{errors}/{total}",
+                 f"{(errors + slows) / total:.3f}"])
+    print(f"  scale x{scale:<4.0f} done: {slows} slow, {errors} error")
+
+print()
+print(format_table(
+    ["acceleration", "slow slots", "error slots", "failure fraction"],
+    rows, title="Accelerated RTN testing sweep"))
+print(
+    "\nReading: at true amplitude (x1) failures are absent — they are\n"
+    "the 'extremely rare events' the paper describes.  The failure\n"
+    "fraction turns on with the acceleration factor; an accelerated\n"
+    "test measures the top of this curve and extrapolates down, and a\n"
+    "simulation-driven methodology like SAMURAI's lets you trace the\n"
+    "whole curve without fabricating anything."
+)

@@ -1,0 +1,32 @@
+"""Signal analysis: the estimators behind the validation experiments.
+
+Paper §IV-A estimates the autocorrelation ``R(tau)`` of generated RTN
+traces numerically and translates it to a power spectral density; this
+package provides those estimators plus the Lorentzian and 1/f fits used
+by the Fig. 3 and Fig. 7 reproductions.
+"""
+
+from .autocorr import autocorrelation, autocovariance
+from .dwell import DwellSummary, exponentiality_pvalue, summarise_dwells
+from .fitting import (
+    FitResult,
+    fit_lorentzian,
+    fit_one_over_f,
+    log_rms_error,
+)
+from .psd import periodogram_psd, psd_from_autocovariance, welch_psd
+
+__all__ = [
+    "DwellSummary",
+    "FitResult",
+    "autocorrelation",
+    "autocovariance",
+    "exponentiality_pvalue",
+    "fit_lorentzian",
+    "fit_one_over_f",
+    "log_rms_error",
+    "periodogram_psd",
+    "psd_from_autocovariance",
+    "summarise_dwells",
+    "welch_psd",
+]

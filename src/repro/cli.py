@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library's main flows:
+
+- ``cards`` — list the technology cards;
+- ``fig8`` — run the paper's Fig.-8 methodology and print verdicts;
+- ``snm`` — static noise margins of a cell;
+- ``traps`` — sample and summarise a device's trap population;
+- ``retention`` — DRAM VRT retention scan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.report import format_table
+
+
+def _cmd_cards(args) -> int:
+    from .devices.technology import TECHNOLOGIES
+    rows = []
+    for name in ("180nm", "90nm", "45nm", "22nm"):
+        card = TECHNOLOGIES[name]
+        rows.append([name, f"{card.t_ox * 1e9:.1f}", f"{card.vdd:.2f}",
+                     f"{card.vt0_n:.2f}",
+                     f"{card.expected_trap_count(card.w_nominal_n, card.node):.1f}"])
+    print(format_table(
+        ["node", "t_ox [nm]", "Vdd [V]", "VT0 [V]",
+         "expected traps (nominal NMOS)"], rows,
+        title="Technology cards"))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from .core import run_methodology
+    from .core.experiments import fig8_cell_spec, fig8_config, fig8_pattern
+    rng = np.random.default_rng(args.seed)
+    result = run_methodology(fig8_pattern(), rng, spec=fig8_cell_spec(),
+                             config=fig8_config(rtn_scale=args.scale))
+    rows = [[r.index, r.expected_bit, c.outcome.value, r.outcome.value,
+             f"{r.final_q:.3f}"]
+            for c, r in zip(result.clean_results, result.rtn_results)]
+    print(format_table(
+        ["slot", "bit", "clean", f"RTN x{args.scale:g}", "final Q [V]"],
+        rows, title="Fig. 8 methodology verdicts"))
+    print(f"cell compromised: {result.cell_compromised}")
+    return 0 if not result.cell_compromised else 2
+
+
+def _cmd_snm(args) -> int:
+    from .sram.cell import SramCellSpec
+    from .sram.margins import static_noise_margin
+    from .devices.technology import get_technology
+    spec = SramCellSpec(technology=get_technology(args.tech),
+                        vdd=args.vdd)
+    rows = [[mode, f"{static_noise_margin(spec, mode=mode) * 1e3:.1f}"]
+            for mode in ("hold", "read")]
+    print(format_table(["mode", "SNM [mV]"], rows,
+                       title=f"Static noise margins ({args.tech}, "
+                             f"Vdd={spec.supply} V)"))
+    return 0
+
+
+def _cmd_traps(args) -> int:
+    from .devices.mosfet import MosfetParams
+    from .devices.technology import get_technology
+    from .traps.profiling import TrapProfiler
+    from .traps.propensity import propensity_sum
+    tech = get_technology(args.tech)
+    device = MosfetParams.nominal(tech, "n")
+    profiler = TrapProfiler(tech)
+    rng = np.random.default_rng(args.seed)
+    traps = profiler.sample(rng, device.width, device.length)
+    rows = [[t.label or i, f"{t.y_tr * 1e9:.3f}", f"{t.e_tr:.3f}",
+             f"{propensity_sum(t, tech):.3e}"]
+            for i, t in enumerate(traps)]
+    print(format_table(
+        ["trap", "depth [nm]", "energy [eV]", "lambda_c+lambda_e [1/s]"],
+        rows, title=f"Sampled trap population ({args.tech} nominal NMOS, "
+                    f"seed {args.seed})"))
+    print(f"{len(traps)} traps "
+          f"(Poisson mean {profiler.expected_count(device.width, device.length):.1f})")
+    return 0
+
+
+def _cmd_retention(args) -> int:
+    from .dram.cell import DramCellSpec, retention_distribution, vrt_levels
+    from .traps.band import crossing_energy
+    from .traps.trap import Trap
+    spec = DramCellSpec(leakage_factor=args.factor)
+    slow, fast = vrt_levels(spec)
+    tech = spec.technology
+    y = np.log(3.0 * slow / (2.0 * tech.tau0)) / tech.gamma_tunnel
+    y = min(y, 0.95 * tech.t_ox)
+    trap = Trap(y_tr=y, e_tr=crossing_energy(0.0, y, tech))
+    rng = np.random.default_rng(args.seed)
+    times = retention_distribution(spec, trap, rng, args.trials,
+                                   t_max=3.0 * slow)
+    print(format_table(
+        ["trial", "retention [us]"],
+        [[i, f"{t * 1e6:.2f}"] for i, t in enumerate(times)],
+        title=f"DRAM VRT scan (leakage factor {args.factor:g})"))
+    print(f"frozen-state levels: empty {slow * 1e6:.2f} us / "
+          f"filled {fast * 1e6:.2f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAMURAI reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("cards", help="list technology cards")
+
+    fig8 = sub.add_parser("fig8", help="run the Fig.-8 methodology")
+    fig8.add_argument("--seed", type=int, default=2)
+    fig8.add_argument("--scale", type=float, default=30.0,
+                      help="RTN acceleration factor (paper uses 30)")
+
+    snm = sub.add_parser("snm", help="static noise margins of a cell")
+    snm.add_argument("--tech", default="90nm")
+    snm.add_argument("--vdd", type=float, default=None)
+
+    traps = sub.add_parser("traps", help="sample a trap population")
+    traps.add_argument("--tech", default="90nm")
+    traps.add_argument("--seed", type=int, default=0)
+
+    retention = sub.add_parser("retention", help="DRAM VRT scan")
+    retention.add_argument("--factor", type=float, default=3.0)
+    retention.add_argument("--trials", type=int, default=20)
+    retention.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_HANDLERS = {
+    "cards": _cmd_cards,
+    "fig8": _cmd_fig8,
+    "snm": _cmd_snm,
+    "traps": _cmd_traps,
+    "retention": _cmd_retention,
+}
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

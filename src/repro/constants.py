@@ -1,0 +1,71 @@
+"""Physical constants used throughout the SAMURAI reproduction.
+
+All values are CODATA-2018 exact or recommended values, in SI units.
+Temperature-dependent helpers take the absolute temperature in kelvin and
+default to room temperature (300 K), which is what the paper's experiments
+assume.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Elementary charge [C].
+Q_ELECTRON = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+K_BOLTZMANN = 1.380649e-23
+
+#: Vacuum permittivity [F/m].
+EPS_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPS_R_SIO2 = 3.9
+
+#: Relative permittivity of silicon.
+EPS_R_SI = 11.7
+
+#: Absolute permittivity of SiO2 [F/m].
+EPS_SIO2 = EPS_R_SIO2 * EPS_0
+
+#: Absolute permittivity of silicon [F/m].
+EPS_SI = EPS_R_SI * EPS_0
+
+#: Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+N_INTRINSIC_SI = 1.0e16
+
+#: Default simulation temperature [K].
+T_ROOM = 300.0
+
+
+def thermal_voltage(temperature: float = T_ROOM) -> float:
+    """Return the thermal voltage kT/q [V] at the given temperature [K]."""
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return K_BOLTZMANN * temperature / Q_ELECTRON
+
+
+def thermal_energy(temperature: float = T_ROOM) -> float:
+    """Return the thermal energy kT [J] at the given temperature [K]."""
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return K_BOLTZMANN * temperature
+
+
+def thermal_energy_ev(temperature: float = T_ROOM) -> float:
+    """Return the thermal energy kT [eV] at the given temperature [K]."""
+    return thermal_energy(temperature) / Q_ELECTRON
+
+
+def fermi_potential(doping: float, temperature: float = T_ROOM) -> float:
+    """Return the bulk Fermi potential phi_F [V] for a doping level [1/m^3].
+
+    ``phi_F = (kT/q) * ln(N_A / n_i)`` for a p-type substrate of an NMOS
+    device.  The doping must exceed the intrinsic concentration.
+    """
+    if doping <= N_INTRINSIC_SI:
+        raise ValueError(
+            f"doping {doping:g} must exceed intrinsic concentration "
+            f"{N_INTRINSIC_SI:g}"
+        )
+    return thermal_voltage(temperature) * math.log(doping / N_INTRINSIC_SI)

@@ -1,0 +1,37 @@
+"""The SAMURAI engine and the SPICE-coupled methodology (paper Fig. 8).
+
+- :mod:`repro.core.samurai` — the :class:`Samurai` engine: trap
+  populations + bias records -> occupancies and ``I_RTN`` traces for
+  every transistor of a cell.
+- :mod:`repro.core.methodology` — the full flowchart: clean SPICE pass,
+  bias extraction, SAMURAI, injection, second SPICE pass, verdicts.
+- :mod:`repro.core.coupled` — bi-directionally coupled RTN/circuit
+  co-simulation (paper future-work #1).
+- :mod:`repro.core.report` — ASCII tables and CSV emission for the
+  benchmark harness.
+"""
+
+from .coupled import CoupledResult, run_coupled
+from .experiments import (
+    FIG8_BITS,
+    FIG8_RTN_SCALE,
+    fig8_cell_spec,
+    fig8_config,
+    fig8_pattern,
+)
+from .methodology import MethodologyConfig, MethodologyResult, run_methodology
+from .samurai import Samurai
+
+__all__ = [
+    "CoupledResult",
+    "FIG8_BITS",
+    "FIG8_RTN_SCALE",
+    "MethodologyConfig",
+    "MethodologyResult",
+    "Samurai",
+    "fig8_cell_spec",
+    "fig8_config",
+    "fig8_pattern",
+    "run_coupled",
+    "run_methodology",
+]

@@ -1,0 +1,82 @@
+"""Plain-text tables and CSV emission for the benchmark harness.
+
+The benches regenerate each paper figure as *rows and series* (there is
+no plotting dependency in the offline environment); these helpers keep
+their output consistent.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from ..errors import AnalysisError
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render an ASCII table with auto-sized columns."""
+    if not headers:
+        raise AnalysisError("table needs headers")
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def write_csv(path: str, headers: list, rows: list) -> str:
+    """Write rows to CSV, creating parent directories; return the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def sparkline(values, width: int = 40) -> str:
+    """A coarse unicode sparkline of a series (for terminal eyeballing)."""
+    import numpy as np
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() if b > a else values[a - 1]
+                           for a, b in zip(edges[:-1], edges[1:])])
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return blocks[0] * values.size
+    scaled = ((values - lo) / (hi - lo) * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[i] for i in scaled)

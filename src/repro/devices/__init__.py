@@ -1,0 +1,51 @@
+"""Compact device models and technology cards.
+
+The paper runs its experiments on 90 nm BSIM-4 models inside SpiceOPUS.
+We substitute a from-scratch but self-consistent stack:
+
+- :mod:`repro.devices.technology` — toy technology cards (180/90/45/22 nm)
+  carrying oxide, threshold, mobility, supply and trap-statistics
+  parameters.
+- :mod:`repro.devices.mosfet` — per-instance MOSFET parameters (W, L,
+  polarity) bound to a card.
+- :mod:`repro.devices.ekv` — an EKV-style all-region compact model with
+  analytic derivatives (smooth from subthreshold to strong inversion,
+  which is what Newton needs and what the trap physics samples).
+- :mod:`repro.devices.noise` — thermal-noise spectral density and
+  inversion carrier density (the ``N`` of paper Eq. 3).
+"""
+
+from .ekv import (
+    drain_current,
+    drain_current_derivatives,
+    inversion_charge_density,
+    transconductance,
+)
+from .mosfet import MosfetParams
+from .noise import carrier_number_density, thermal_noise_psd
+from .technology import (
+    TECH_22NM,
+    TECH_45NM,
+    TECH_90NM,
+    TECH_180NM,
+    TECHNOLOGIES,
+    Technology,
+    get_technology,
+)
+
+__all__ = [
+    "MosfetParams",
+    "TECH_180NM",
+    "TECH_22NM",
+    "TECH_45NM",
+    "TECH_90NM",
+    "TECHNOLOGIES",
+    "Technology",
+    "carrier_number_density",
+    "drain_current",
+    "drain_current_derivatives",
+    "get_technology",
+    "inversion_charge_density",
+    "thermal_noise_psd",
+    "transconductance",
+]

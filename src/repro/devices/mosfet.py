@@ -1,0 +1,87 @@
+"""Per-instance MOSFET parameters bound to a technology card."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import thermal_voltage
+from ..errors import ModelError
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Geometry and polarity of one MOSFET instance.
+
+    Attributes
+    ----------
+    width, length:
+        Drawn channel dimensions [m].
+    polarity:
+        ``"n"`` or ``"p"``.
+    technology:
+        The card supplying oxide, threshold and mobility values.
+    """
+
+    width: float
+    length: float
+    polarity: str
+    technology: Technology
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.length <= 0.0:
+            raise ModelError(
+                f"device dimensions must be positive, got "
+                f"W={self.width}, L={self.length}"
+            )
+        if self.polarity not in ("n", "p"):
+            raise ModelError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+
+    @classmethod
+    def nominal(cls, technology: Technology, polarity: str = "n",
+                width: float | None = None) -> "MosfetParams":
+        """Build the card's nominal device of the given polarity."""
+        if width is None:
+            width = (technology.w_nominal_n if polarity == "n"
+                     else technology.w_nominal_p)
+        return cls(width=width, length=technology.node, polarity=polarity,
+                   technology=technology)
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity == "n"
+
+    @property
+    def area(self) -> float:
+        """Gate area W*L [m^2]."""
+        return self.width * self.length
+
+    @property
+    def vt0(self) -> float:
+        """Threshold-voltage magnitude [V]."""
+        return (self.technology.vt0_n if self.is_nmos
+                else self.technology.vt0_p)
+
+    @property
+    def mobility(self) -> float:
+        """Low-field channel mobility [m^2/(V s)]."""
+        return (self.technology.mobility_n if self.is_nmos
+                else self.technology.mobility_p)
+
+    @property
+    def i_spec(self) -> float:
+        """EKV specific current ``2 n mu C_ox (W/L) V_t^2`` [A]."""
+        tech = self.technology
+        v_t = thermal_voltage(tech.temperature)
+        return (2.0 * tech.slope_factor * self.mobility * tech.c_ox
+                * (self.width / self.length) * v_t ** 2)
+
+    def scaled(self, width_factor: float = 1.0,
+               length_factor: float = 1.0) -> "MosfetParams":
+        """Return a copy with scaled dimensions (for sizing sweeps)."""
+        return MosfetParams(
+            width=self.width * width_factor,
+            length=self.length * length_factor,
+            polarity=self.polarity,
+            technology=self.technology,
+        )

@@ -1,0 +1,42 @@
+"""Thermal noise and carrier-density helpers.
+
+The paper overlays the stationary thermal-noise floor
+``S_thermal(f) = (8/3) k T g_m`` on the RTN spectra of Fig. 7(d)-(f), and
+paper Eq. (3) needs the inversion carrier *number* density ``N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import K_BOLTZMANN, Q_ELECTRON, T_ROOM
+from ..errors import ModelError
+from .ekv import inversion_charge_density
+from .mosfet import MosfetParams
+
+#: Floor on the carrier number density [1/m^2] to keep paper Eq. (3)
+#: finite in deep off-state, where the drain current vanishes anyway.
+N_DENSITY_FLOOR = 1e6
+
+
+def thermal_noise_psd(gm, temperature: float = T_ROOM):
+    """One-sided thermal-noise current PSD ``(8/3) k T g_m`` [A^2/Hz]."""
+    if temperature <= 0.0:
+        raise ModelError(f"temperature must be positive, got {temperature}")
+    gm_arr = np.asarray(gm, dtype=float)
+    if np.any(gm_arr < 0.0):
+        raise ModelError("transconductance must be non-negative")
+    result = (8.0 / 3.0) * K_BOLTZMANN * temperature * gm_arr
+    return result if np.ndim(gm) else float(result)
+
+
+def carrier_number_density(params: MosfetParams, v_gs):
+    """Inversion carrier number density ``N`` [1/m^2] (paper Eq. 3).
+
+    ``N = Q_inv / q`` with a small floor so that the RTN amplitude
+    ``I_d/(W L N)`` stays finite when the device is off (there the drain
+    current collapses at the same exponential rate, so the amplitude
+    tends to a finite subthreshold limit before the floor matters).
+    """
+    density = inversion_charge_density(params, v_gs) / Q_ELECTRON
+    return np.maximum(density, N_DENSITY_FLOOR)

@@ -1,0 +1,182 @@
+"""Technology cards: the per-node parameter sets everything else reads.
+
+These are *toy but self-consistent* nodes.  Absolute values are chosen to
+sit in the published ranges for each node (oxide thickness, supply,
+threshold, mobility) and — for the trap statistics — to land the expected
+trap counts the paper quotes: hundreds of traps for an old large-area
+node (where the analytical 1/f fit works, Fig. 3 left) down to a handful
+for a deeply scaled node (where it fails, Fig. 3 right; "only about 5-10
+traps are active").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import EPS_SIO2, fermi_potential
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS technology node card.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name, e.g. ``"90nm"``.
+    node:
+        Feature size [m] (also the default channel length).
+    t_ox:
+        Gate-oxide thickness [m].
+    vdd:
+        Nominal supply voltage [V].
+    vt0_n, vt0_p:
+        Zero-bias threshold voltages [V]; ``vt0_p`` is reported as a
+        positive magnitude.
+    mobility_n, mobility_p:
+        Low-field channel mobilities [m^2/(V s)].
+    slope_factor:
+        EKV subthreshold slope factor ``n`` (dimensionless, > 1).
+    doping:
+        Substrate doping [1/m^3], used by the surface-potential solver.
+    v_fb:
+        Flat-band voltage [V] (n+ poly over p-substrate is negative).
+    tau0:
+        Trap capture time constant at the Si/SiO2 interface [s]
+        (paper Eq. 1).
+    gamma_tunnel:
+        Tunnelling attenuation coefficient [1/m] (paper Eq. 1).
+    trap_density:
+        Oxide trap density [1/(m^3 eV)].
+    trap_energy_window:
+        Width of the trap energy band the profiler samples [eV].
+    w_nominal_n, w_nominal_p:
+        Nominal single-device widths [m] used for free-standing device
+        experiments (Fig. 3) and as the SRAM sizing basis.
+    """
+
+    name: str
+    node: float
+    t_ox: float
+    vdd: float
+    vt0_n: float
+    vt0_p: float
+    mobility_n: float
+    mobility_p: float
+    slope_factor: float
+    doping: float
+    v_fb: float
+    tau0: float
+    gamma_tunnel: float
+    trap_density: float
+    trap_energy_window: float
+    w_nominal_n: float
+    w_nominal_p: float
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        positive = {
+            "node": self.node, "t_ox": self.t_ox, "vdd": self.vdd,
+            "vt0_n": self.vt0_n, "vt0_p": self.vt0_p,
+            "mobility_n": self.mobility_n, "mobility_p": self.mobility_p,
+            "doping": self.doping, "tau0": self.tau0,
+            "gamma_tunnel": self.gamma_tunnel,
+            "trap_density": self.trap_density,
+            "trap_energy_window": self.trap_energy_window,
+            "w_nominal_n": self.w_nominal_n, "w_nominal_p": self.w_nominal_p,
+            "temperature": self.temperature,
+        }
+        for key, value in positive.items():
+            if value <= 0.0:
+                raise ModelError(f"technology field {key} must be positive, "
+                                 f"got {value}")
+        if self.slope_factor <= 1.0:
+            raise ModelError(
+                f"slope_factor must exceed 1, got {self.slope_factor}")
+        if self.vt0_n >= self.vdd:
+            raise ModelError("vt0_n must be below vdd for a usable node")
+
+    @property
+    def c_ox(self) -> float:
+        """Gate-oxide capacitance per unit area [F/m^2]."""
+        return EPS_SIO2 / self.t_ox
+
+    @property
+    def phi_f(self) -> float:
+        """Bulk Fermi potential [V] at the card temperature."""
+        return fermi_potential(self.doping, self.temperature)
+
+    def expected_trap_count(self, width: float, length: float) -> float:
+        """Expected oxide-trap count for a ``width x length`` device.
+
+        ``N_t * W * L * t_ox * dE`` — the Poisson mean used by the
+        statistical trap profiler.
+        """
+        if width <= 0.0 or length <= 0.0:
+            raise ModelError("device dimensions must be positive")
+        return (self.trap_density * width * length * self.t_ox
+                * self.trap_energy_window)
+
+
+#: Old large-geometry node: ~1.7k traps on the nominal device, so the
+#: superposition of Lorentzians smooths into 1/f (Fig. 3 left).
+TECH_180NM = Technology(
+    name="180nm", node=180e-9, t_ox=4.0e-9, vdd=1.8,
+    vt0_n=0.45, vt0_p=0.45,
+    mobility_n=0.040, mobility_p=0.016,
+    slope_factor=1.35, doping=3e23, v_fb=-0.90,
+    tau0=1e-10, gamma_tunnel=1e10,
+    trap_density=1e24, trap_energy_window=1.2,
+    w_nominal_n=2.0e-6, w_nominal_p=4.0e-6,
+)
+
+#: The node of the paper's SRAM experiments (BSIM-4 @ 90 nm).
+TECH_90NM = Technology(
+    name="90nm", node=90e-9, t_ox=2.0e-9, vdd=1.0,
+    vt0_n=0.30, vt0_p=0.30,
+    mobility_n=0.030, mobility_p=0.012,
+    slope_factor=1.30, doping=5e23, v_fb=-0.85,
+    tau0=1e-10, gamma_tunnel=1e10,
+    trap_density=1e24, trap_energy_window=1.2,
+    w_nominal_n=0.24e-6, w_nominal_p=0.36e-6,
+)
+
+#: Scaled node with ~10 traps per device.
+TECH_45NM = Technology(
+    name="45nm", node=45e-9, t_ox=1.4e-9, vdd=1.0,
+    vt0_n=0.32, vt0_p=0.32,
+    mobility_n=0.022, mobility_p=0.009,
+    slope_factor=1.28, doping=8e23, v_fb=-0.80,
+    tau0=1e-10, gamma_tunnel=1e10,
+    trap_density=1e24, trap_energy_window=1.2,
+    w_nominal_n=0.12e-6, w_nominal_p=0.18e-6,
+)
+
+#: Deeply scaled node with only a couple of traps: individual Lorentzian
+#: corners dominate and the 1/f fit fails (Fig. 3 right).
+TECH_22NM = Technology(
+    name="22nm", node=22e-9, t_ox=1.0e-9, vdd=0.8,
+    vt0_n=0.30, vt0_p=0.30,
+    mobility_n=0.015, mobility_p=0.007,
+    slope_factor=1.25, doping=1.2e24, v_fb=-0.75,
+    tau0=1e-10, gamma_tunnel=1e10,
+    trap_density=1e24, trap_energy_window=1.2,
+    w_nominal_n=0.06e-6, w_nominal_p=0.09e-6,
+)
+
+#: Registry by name.
+TECHNOLOGIES: dict[str, Technology] = {
+    card.name: card
+    for card in (TECH_180NM, TECH_90NM, TECH_45NM, TECH_22NM)
+}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a technology card by name (e.g. ``"90nm"``)."""
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise ModelError(f"unknown technology {name!r}; known: {known}") \
+            from None

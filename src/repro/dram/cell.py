@@ -1,0 +1,212 @@
+"""A 1T1C DRAM cell with trap-modulated storage-node leakage.
+
+Model:
+
+- the storage capacitor ``C_s`` is written to ``v_initial`` and then
+  isolated (wordline low, bitline at 0);
+- the dominant leakage is the access transistor's subthreshold current,
+  evaluated from the EKV model at the instantaneous storage-node
+  voltage (source = storage node, drain = bitline at 0, gate at 0);
+- a single defect modulates that leakage *multiplicatively* when
+  filled (``leakage_factor``), the trap-assisted-leakage picture the
+  VRT literature established (paper refs [22], [23]).  The defect's
+  own kinetics are the standard two-state chain at the retention-state
+  bias, simulated exactly with the Gillespie kernel (the bias is
+  constant during retention, so uniformisation and SSA coincide).
+
+The storage voltage then obeys a piecewise-smooth ODE between trap
+transitions, integrated segment by segment; the retention time is the
+instant the node crosses the sense threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..devices.ekv import drain_current
+from ..devices.mosfet import MosfetParams
+from ..devices.technology import TECH_90NM, Technology
+from ..errors import SimulationError
+from ..markov.gillespie import simulate_constant
+from ..markov.occupancy import OccupancyTrace
+from ..traps.propensity import rates_from_bias
+from ..traps.trap import Trap
+
+
+@dataclass(frozen=True)
+class DramCellSpec:
+    """Geometry and operating choices of the 1T1C cell.
+
+    Attributes
+    ----------
+    technology:
+        Device card for the access transistor.
+    storage_capacitance:
+        Cell capacitor [F].
+    v_write:
+        Stored "1" level [V] (a full write-back; pass-gate V_T loss is
+        the writer's problem, not the retention model's).
+    sense_threshold:
+        Voltage below which the stored 1 is lost [V].
+    leakage_factor:
+        Multiplier on the leakage while the defect is filled (> 1;
+        trap-assisted leakage steps of 2-10x are reported).
+    """
+
+    technology: Technology = TECH_90NM
+    storage_capacitance: float = 25e-15
+    v_write: float | None = None
+    sense_threshold: float | None = None
+    leakage_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.storage_capacitance <= 0.0:
+            raise SimulationError("storage_capacitance must be positive")
+        if self.leakage_factor < 1.0:
+            raise SimulationError("leakage_factor must be >= 1")
+
+    @property
+    def stored_level(self) -> float:
+        return self.v_write if self.v_write is not None \
+            else 0.8 * self.technology.vdd
+
+    @property
+    def threshold(self) -> float:
+        return self.sense_threshold if self.sense_threshold is not None \
+            else 0.5 * self.stored_level
+
+    def access_params(self) -> MosfetParams:
+        return MosfetParams.nominal(self.technology, "n")
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """One retention trial.
+
+    Attributes
+    ----------
+    retention_time:
+        When the node crossed the sense threshold [s]; ``inf`` when it
+        survived the whole window.
+    occupancy:
+        The defect's trajectory during the trial.
+    times, voltage:
+        The decay waveform samples.
+    """
+
+    retention_time: float
+    occupancy: OccupancyTrace
+    times: np.ndarray
+    voltage: np.ndarray
+
+
+def _leakage(spec: DramCellSpec, v_sn: float) -> float:
+    """Access-transistor subthreshold leakage magnitude [A] at ``v_sn``."""
+    params = spec.access_params()
+    # Drain = bitline at 0, gate at 0, source = storage node.
+    return float(abs(drain_current(params, 0.0, 0.0, v_sn, 0.0)))
+
+
+def simulate_retention(spec: DramCellSpec, trap: Trap,
+                       rng: np.random.Generator, t_max: float = 1e-3,
+                       initial_trap_state: int | None = None,
+                       samples_per_segment: int = 64) -> RetentionResult:
+    """Run one retention trial of a written "1"."""
+    if t_max <= 0.0:
+        raise SimulationError("t_max must be positive")
+    tech = spec.technology
+    # Defect kinetics at the retention bias (gate at 0): constant rates.
+    lam_c, lam_e = rates_from_bias(0.0, trap, tech)
+    if initial_trap_state is None:
+        p_filled = lam_c / (lam_c + lam_e)
+        initial_trap_state = int(rng.random() < p_filled)
+    occupancy = simulate_constant(lam_c, lam_e, 0.0, t_max, rng,
+                                  initial_state=initial_trap_state)
+
+    c_s = spec.storage_capacitance
+    threshold = spec.threshold
+
+    def rhs_factory(multiplier: float):
+        def rhs(t, y):
+            return [-multiplier * _leakage(spec, float(y[0])) / c_s]
+        return rhs
+
+    def crossing_event(t, y):
+        return y[0] - threshold
+    crossing_event.terminal = True
+    crossing_event.direction = -1
+
+    times = [0.0]
+    voltages = [spec.stored_level]
+    v = spec.stored_level
+    retention = float("inf")
+    boundaries = occupancy.times
+    for segment in range(occupancy.states.size):
+        t_lo = float(boundaries[segment])
+        t_hi = float(boundaries[segment + 1])
+        multiplier = spec.leakage_factor \
+            if occupancy.states[segment] == 1 else 1.0
+        solution = solve_ivp(
+            rhs_factory(multiplier), (t_lo, t_hi), [v],
+            events=crossing_event, rtol=1e-8, atol=1e-12, max_step=t_max,
+            dense_output=False,
+            t_eval=np.linspace(t_lo, t_hi, samples_per_segment),
+        )
+        if not solution.success:
+            raise SimulationError(
+                f"retention integration failed: {solution.message}")
+        times.extend(solution.t[1:].tolist())
+        voltages.extend(solution.y[0][1:].tolist())
+        if solution.t_events[0].size:
+            retention = float(solution.t_events[0][0])
+            break
+        v = float(solution.y[0][-1])
+    return RetentionResult(
+        retention_time=retention, occupancy=occupancy,
+        times=np.asarray(times), voltage=np.asarray(voltages))
+
+
+def retention_distribution(spec: DramCellSpec, trap: Trap,
+                           rng: np.random.Generator, n_trials: int,
+                           t_max: float = 1e-3) -> np.ndarray:
+    """Repeated retention measurements of the same cell (VRT scan).
+
+    Each trial re-writes the cell and measures retention; the defect
+    state carries the randomness.  Returns the retention times
+    (``inf`` entries mean the trial out-lasted ``t_max``).
+    """
+    if n_trials <= 0:
+        raise SimulationError("n_trials must be positive")
+    return np.array([
+        simulate_retention(spec, trap, rng, t_max=t_max).retention_time
+        for _ in range(n_trials)
+    ])
+
+
+def vrt_levels(spec: DramCellSpec) -> tuple[float, float]:
+    """The two frozen-state retention times (slow, fast) [s].
+
+    Closed-bound estimates obtained by integrating the decay with the
+    defect pinned empty and pinned filled; actual trials fall between
+    (or jump mid-trial).  ``fast = slow / leakage_factor`` only holds
+    approximately because the leakage is voltage-dependent.
+    """
+    results = []
+    for multiplier in (1.0, spec.leakage_factor):
+        def rhs(t, y, m=multiplier):
+            return [-m * _leakage(spec, float(y[0]))
+                    / spec.storage_capacitance]
+
+        def event(t, y):
+            return y[0] - spec.threshold
+        event.terminal = True
+        event.direction = -1
+        solution = solve_ivp(rhs, (0.0, 1.0), [spec.stored_level],
+                             events=event, rtol=1e-8, atol=1e-12)
+        if solution.t_events[0].size == 0:
+            raise SimulationError("cell never discharged within 1 s")
+        results.append(float(solution.t_events[0][0]))
+    return results[0], results[1]

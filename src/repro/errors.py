@@ -1,0 +1,38 @@
+"""Exception hierarchy for the SAMURAI reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch library failures without also catching programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A physical model received parameters outside its validity range."""
+
+
+class SimulationError(ReproError):
+    """A stochastic or circuit simulation could not be carried out."""
+
+
+class ConvergenceError(SimulationError):
+    """An iterative solver (Newton, stepping strategy) failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class NetlistError(ReproError):
+    """A circuit description is malformed (unknown node, bad card, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A post-processing analysis received unusable data."""

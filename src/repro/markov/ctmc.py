@@ -1,0 +1,152 @@
+"""General N-state continuous-time Markov chains with time-varying generators.
+
+The paper's traps are two-state chains, but multi-level traps (and
+coupled defect complexes) have been reported in the RTN literature; this
+module extends uniformisation to an arbitrary finite state space as a
+forward-looking generalisation.  The two-state kernel in
+:mod:`repro.markov.uniformization` remains the fast path used by SAMURAI.
+
+A chain is described by a generator function ``q(t) -> (n, n) ndarray``
+where ``q[i, j]`` for ``i != j`` is the instantaneous ``i -> j`` rate and
+rows sum to zero.  Uniformisation draws candidates at a rate dominating
+every exit rate ``-q[i, i]`` and resolves each candidate by sampling the
+one-step transition matrix of the uniformised chain,
+``P(t) = I + Q(t)/lambda_star``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ModelError, SimulationError
+
+
+@dataclass(frozen=True)
+class CtmcPath:
+    """A piecewise-constant N-state trajectory.
+
+    ``times`` has ``n + 1`` entries, ``states`` has ``n``; the chain is
+    in ``states[i]`` on ``[times[i], times[i+1])``.  As with
+    :class:`repro.markov.occupancy.OccupancyTrace`, consecutive states
+    must differ — segments are maximal.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    n_states: int
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        states = np.asarray(self.states, dtype=np.int64)
+        if times.size != states.size + 1:
+            raise ModelError("len(times) must equal len(states) + 1")
+        if np.any(np.diff(times) <= 0.0):
+            raise ModelError("times must be strictly increasing")
+        if states.size and (states.min() < 0 or states.max() >= self.n_states):
+            raise ModelError("states out of range")
+        if np.any(states[1:] == states[:-1]):
+            raise ModelError("consecutive segments must differ")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "states", states)
+
+    def state_at(self, t) -> np.ndarray:
+        """Return the state at time(s) ``t`` (vectorised)."""
+        t_arr = np.asarray(t, dtype=float)
+        if np.any(t_arr < self.times[0]) or np.any(t_arr > self.times[-1]):
+            raise ModelError("query times outside the simulated window")
+        index = np.searchsorted(self.times, t_arr, side="right") - 1
+        index = np.clip(index, 0, self.states.size - 1)
+        result = self.states[index]
+        return result if t_arr.ndim else int(result)
+
+    def occupancy_fractions(self) -> np.ndarray:
+        """Return the time-averaged occupancy of each state."""
+        durations = np.diff(self.times)
+        fractions = np.zeros(self.n_states, dtype=float)
+        np.add.at(fractions, self.states, durations)
+        return fractions / durations.sum()
+
+
+def validate_generator(q: np.ndarray, tolerance: float = 1e-9) -> None:
+    """Check that ``q`` is a valid CTMC generator matrix."""
+    q = np.asarray(q, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ModelError(f"generator must be square, got shape {q.shape}")
+    off_diag = q.copy()
+    np.fill_diagonal(off_diag, 0.0)
+    if np.any(off_diag < -tolerance):
+        raise ModelError("off-diagonal generator entries must be non-negative")
+    row_sums = q.sum(axis=1)
+    scale = np.abs(q).max() + 1.0
+    if np.any(np.abs(row_sums) > tolerance * scale):
+        raise ModelError(f"generator rows must sum to zero, got {row_sums}")
+
+
+def simulate_ctmc(generator_fn: Callable[[float], np.ndarray], n_states: int,
+                  t_start: float, t_stop: float, rng: np.random.Generator,
+                  initial_state: int, rate_bound: float) -> CtmcPath:
+    """Exact uniformisation simulation of a time-inhomogeneous CTMC.
+
+    Parameters
+    ----------
+    generator_fn:
+        ``t -> Q(t)`` with ``Q`` an ``(n_states, n_states)`` generator.
+    n_states:
+        Size of the state space.
+    t_start, t_stop:
+        Simulation window [s].
+    rng:
+        NumPy random generator.
+    initial_state:
+        State at ``t_start``.
+    rate_bound:
+        Must dominate every exit rate ``-Q(t)[i, i]`` over the window.
+    """
+    if t_stop <= t_start:
+        raise SimulationError("t_stop must exceed t_start")
+    if not 0 <= initial_state < n_states:
+        raise SimulationError(f"initial_state {initial_state} out of range")
+    if rate_bound <= 0.0 or not np.isfinite(rate_bound):
+        raise SimulationError(f"invalid rate bound {rate_bound!r}")
+
+    times = [t_start]
+    states = [initial_state]
+    state = initial_state
+    current = t_start
+    while True:
+        current += rng.exponential(scale=1.0 / rate_bound)
+        if current >= t_stop:
+            break
+        q = np.asarray(generator_fn(current), dtype=float)
+        validate_generator(q)
+        exit_rate = -q[state, state]
+        if exit_rate > rate_bound * (1.0 + 1e-12):
+            raise SimulationError(
+                f"exit rate {exit_rate:g} at t={current:g} exceeds the "
+                f"bound {rate_bound:g}"
+            )
+        # One-step transition row of the uniformised chain.
+        row = q[state] / rate_bound
+        row[state] += 1.0
+        next_state = int(rng.choice(n_states, p=row))
+        if next_state != state:
+            times.append(current)
+            states.append(next_state)
+            state = next_state
+
+    times.append(t_stop)
+    return CtmcPath(
+        times=np.asarray(times, dtype=float),
+        states=np.asarray(states, dtype=np.int64),
+        n_states=n_states,
+    )
+
+
+def two_state_generator(lambda_c: float, lambda_e: float) -> np.ndarray:
+    """Return the 2x2 generator of a trap chain (state 0 empty, 1 filled)."""
+    if lambda_c < 0.0 or lambda_e < 0.0:
+        raise ModelError("rates must be non-negative")
+    return np.array([[-lambda_c, lambda_c], [lambda_e, -lambda_e]], dtype=float)

@@ -1,0 +1,66 @@
+"""Gillespie's stochastic simulation algorithm for constant rates.
+
+This is the stationary baseline that uniformisation generalises (paper
+§I-E cites Gillespie [9] as the origin of the approach).  For a two-state
+chain with *constant* rates the SSA is trivial: the sojourn in state 0 is
+``Exp(lambda_c)`` and in state 1 is ``Exp(lambda_e)``.  The kernel exists
+(a) as an independent oracle for testing uniformisation at constant bias
+and (b) as the inner step of the piecewise-constant solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .occupancy import OccupancyTrace, _TraceBuilder
+
+
+def simulate_constant(lambda_c: float, lambda_e: float, t_start: float,
+                      t_stop: float, rng: np.random.Generator,
+                      initial_state: int = 0) -> OccupancyTrace:
+    """Exact SSA trajectory of a stationary two-state chain.
+
+    Parameters
+    ----------
+    lambda_c, lambda_e:
+        Constant capture (0 -> 1) and emission (1 -> 0) rates [1/s].
+        A zero rate makes the corresponding state absorbing.
+    t_start, t_stop:
+        Simulation window [s].
+    rng:
+        NumPy random generator.
+    initial_state:
+        State at ``t_start``.
+    """
+    if lambda_c < 0.0 or lambda_e < 0.0:
+        raise SimulationError("rates must be non-negative")
+    if t_stop <= t_start:
+        raise SimulationError(
+            f"t_stop ({t_stop:g}) must exceed t_start ({t_start:g})"
+        )
+    if initial_state not in (0, 1):
+        raise SimulationError(f"initial_state must be 0 or 1, got {initial_state}")
+
+    builder = _TraceBuilder(t_start=t_start, initial_state=initial_state)
+    state = initial_state
+    current = t_start
+    rates = (lambda_c, lambda_e)  # rate out of state 0, state 1
+    while True:
+        rate_out = rates[state]
+        if rate_out == 0.0:
+            break  # absorbing state: no further transitions
+        current += rng.exponential(scale=1.0 / rate_out)
+        if current >= t_stop:
+            break
+        builder.flip(current)
+        state = 1 - state
+    return builder.finish(t_stop)
+
+
+def sojourn_mean(lambda_c: float, lambda_e: float, state: int) -> float:
+    """Return the mean sojourn time of ``state`` under constant rates."""
+    rate_out = lambda_c if state == 0 else lambda_e
+    if rate_out <= 0.0:
+        return float("inf")
+    return 1.0 / rate_out

@@ -1,0 +1,28 @@
+"""Ring-oscillator RTN analysis (paper future-work #4).
+
+The paper's conclusions: "RTN is also known to impact ring oscillators
+[3] ... In future, we would like to extend SAMURAI to conduct RTN
+analysis for all these different circuits."  This package does that for
+the CMOS ring oscillator: build the ring from the same EKV devices,
+co-simulate a trap population against the live node voltages (the
+oscillator's bias is never stationary, so the coupled treatment is the
+only honest one) and measure the per-cycle period jitter RTN induces.
+"""
+
+from .pll import PllSpec, pull_out_frequency, simulate_pll_with_rtn
+from .ring import (
+    RingOscillator,
+    build_ring_oscillator,
+    measure_periods,
+    run_ring_with_rtn,
+)
+
+__all__ = [
+    "PllSpec",
+    "RingOscillator",
+    "build_ring_oscillator",
+    "measure_periods",
+    "pull_out_frequency",
+    "run_ring_with_rtn",
+    "simulate_pll_with_rtn",
+]

@@ -1,0 +1,205 @@
+"""RTN-induced cycle slipping in a PLL (the paper's closing conjecture).
+
+Paper conclusions: "We also conjecture that RTN causes cycle slipping in
+Phase Locked Loops (PLLs)."  This module tests the conjecture in a
+phase-domain charge-pump PLL model:
+
+- the VCO is a ring oscillator whose frequency carries a two-level RTN
+  modulation ``delta_f * X(t)`` (the period modulation measured by
+  :mod:`repro.oscillators.ring`, expressed in frequency);
+- the loop is the standard averaged charge-pump model: phase error
+  ``theta``, proportional-integral filter ``(R1, C1)``, VCO gain
+  ``K_vco``;
+- a *cycle slip* is recorded whenever the phase error magnitude exceeds
+  2 pi (the PFD wraps); after a slip the error re-enters from the other
+  edge, as in hardware.
+
+The conjecture's shape: small RTN frequency steps are absorbed by the
+loop (the control voltage itself becomes a telegraph wave — RTN moved
+into the loop), while steps beyond the loop's pull-out range make each
+trap transition kick the phase past 2 pi: cycle slips at the trap's
+transition times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices.technology import Technology
+from ..errors import SimulationError
+from ..markov.gillespie import simulate_constant
+from ..markov.occupancy import OccupancyTrace
+from ..traps.propensity import rates_from_bias
+from ..traps.trap import Trap
+
+
+@dataclass(frozen=True)
+class PllSpec:
+    """The charge-pump PLL (phase-domain, averaged).
+
+    Attributes
+    ----------
+    f_ref:
+        Reference frequency [Hz]; the VCO centre is assumed at lock.
+    k_vco:
+        VCO gain [Hz/V].
+    i_cp:
+        Charge-pump current [A] (averaged: ``i = i_cp * theta / 2 pi``).
+    r1, c1:
+        Loop-filter proportional resistor [Ohm] and integral cap [F].
+    """
+
+    f_ref: float = 1e9
+    k_vco: float = 5e8
+    i_cp: float = 100e-6
+    r1: float = 5e3
+    c1: float = 50e-12
+
+    def __post_init__(self) -> None:
+        for name in ("f_ref", "k_vco", "i_cp", "r1", "c1"):
+            if getattr(self, name) <= 0.0:
+                raise SimulationError(f"{name} must be positive")
+
+    @property
+    def natural_frequency(self) -> float:
+        """Loop natural frequency [rad/s]: sqrt(Kvco Icp / C1)."""
+        return float(np.sqrt(2.0 * np.pi * self.k_vco * self.i_cp
+                             / (2.0 * np.pi * self.c1)))
+
+    @property
+    def damping(self) -> float:
+        """Loop damping factor (R1/2) sqrt(Icp Kvco C1 ... )."""
+        return float(self.r1 / 2.0 * np.sqrt(
+            self.i_cp * self.k_vco * self.c1 / (2.0 * np.pi)))
+
+
+@dataclass
+class PllRtnResult:
+    """Outcome of a PLL/RTN run.
+
+    Attributes
+    ----------
+    times:
+        Simulation grid [s].
+    phase_error:
+        Phase error theta(t) [rad] (post-wrap).
+    control_voltage:
+        Loop-filter output [V].
+    occupancy:
+        The trap trajectory.
+    slip_times:
+        Times at which the phase error wrapped past +-2 pi.
+    """
+
+    times: np.ndarray
+    phase_error: np.ndarray
+    control_voltage: np.ndarray
+    occupancy: OccupancyTrace
+    slip_times: list = field(default_factory=list)
+
+    @property
+    def n_slips(self) -> int:
+        return len(self.slip_times)
+
+
+def simulate_pll_with_rtn(spec: PllSpec, trap: Trap, tech: Technology,
+                          rng: np.random.Generator, t_stop: float,
+                          dt: float, delta_f: float,
+                          hold_bias: float | None = None) -> PllRtnResult:
+    """Co-simulate the locked loop with a trap-modulated VCO.
+
+    Parameters
+    ----------
+    spec:
+        Loop parameters.
+    trap, tech:
+        The defect and its host technology; its rates are taken at
+        ``hold_bias`` (default V_dd/2 — the VCO devices' average bias).
+    rng:
+        NumPy random generator.
+    t_stop, dt:
+        Window and integration step [s]; ``dt`` must resolve the loop
+        (a small fraction of ``1/natural_frequency``).
+    delta_f:
+        VCO frequency shift while the trap is filled [Hz].
+    """
+    if t_stop <= 0.0 or dt <= 0.0 or dt >= t_stop:
+        raise SimulationError("need 0 < dt < t_stop")
+    bias = hold_bias if hold_bias is not None else 0.5 * tech.vdd
+    lam_c, lam_e = rates_from_bias(bias, trap, tech)
+    occupancy = simulate_constant(lam_c, lam_e, 0.0, t_stop, rng,
+                                  initial_state=0)
+
+    n_steps = int(np.ceil(t_stop / dt))
+    times = np.arange(n_steps + 1) * dt
+    states = occupancy.sample(np.minimum(times, t_stop)).astype(float)
+
+    theta = np.empty(n_steps + 1)
+    v_ctrl = np.empty(n_steps + 1)
+    theta[0] = 0.0
+    v_integral = 0.0
+    v_ctrl[0] = 0.0
+    slip_times: list = []
+    two_pi = 2.0 * np.pi
+    for k in range(n_steps):
+        # Averaged charge-pump current and PI filter.
+        i_pump = spec.i_cp * theta[k] / two_pi
+        v_integral += i_pump / spec.c1 * dt
+        v = v_integral + i_pump * spec.r1
+        # VCO deviation from the locked centre.
+        f_err = -(spec.k_vco * v + delta_f * states[k])
+        theta_next = theta[k] + two_pi * f_err * dt
+        if abs(theta_next) > two_pi:
+            slip_times.append(float(times[k + 1]))
+            theta_next -= np.sign(theta_next) * two_pi
+        theta[k + 1] = theta_next
+        v_ctrl[k + 1] = v
+    return PllRtnResult(times=times, phase_error=theta,
+                        control_voltage=v_ctrl, occupancy=occupancy,
+                        slip_times=slip_times)
+
+
+def _step_response_peak(spec: PllSpec, delta_f: float) -> float:
+    """Peak |phase error| [rad] after a sustained frequency step."""
+    dt = 0.02 / spec.natural_frequency
+    horizon = 30.0 / spec.natural_frequency
+    n_steps = int(np.ceil(horizon / dt))
+    theta = 0.0
+    v_integral = 0.0
+    peak = 0.0
+    two_pi = 2.0 * np.pi
+    for _ in range(n_steps):
+        i_pump = spec.i_cp * theta / two_pi
+        v_integral += i_pump / spec.c1 * dt
+        v = v_integral + i_pump * spec.r1
+        theta += two_pi * (-(spec.k_vco * v + delta_f)) * dt
+        peak = max(peak, abs(theta))
+        if peak > two_pi:
+            break  # already slipping
+    return peak
+
+
+def pull_out_frequency(spec: PllSpec, tolerance: float = 0.02) -> float:
+    """Pull-out range [Hz]: the sustained frequency step whose transient
+    phase excursion just reaches the 2-pi wrap.
+
+    Measured on the loop itself (bisection over deterministic step
+    responses) — the peak excursion of a charge-pump PI loop depends on
+    the damping in a way simple closed forms only approximate.
+    """
+    two_pi = 2.0 * np.pi
+    low = spec.natural_frequency / two_pi / 100.0
+    high = low
+    while _step_response_peak(spec, high) < two_pi:
+        high *= 2.0
+        if high > 1e18:
+            raise SimulationError("loop never slips; check parameters")
+    while (high - low) / high > tolerance:
+        mid = 0.5 * (low + high)
+        if _step_response_peak(spec, mid) < two_pi:
+            low = mid
+        else:
+            high = mid
+    return float(0.5 * (low + high))

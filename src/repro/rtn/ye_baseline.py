@@ -1,0 +1,213 @@
+"""The Ye-et-al. [10] baseline: RTN-like waveforms from white noise.
+
+The paper describes the prior state of the art as a method that "works
+by generating RTN-like waveforms starting from ideal white-noise
+sources" through a 2-stage equivalent circuit, and criticises it as
+"incapable of taking into account the bias-dependent, non-stationary
+statistics of RTN".  We reproduce that construction faithfully so the
+criticism can be *measured* (ablation A2):
+
+- **Stage 1** — a white-noise source through a first-order RC filter,
+  i.e. an Ornstein-Uhlenbeck (OU) process with correlation time
+  ``tau_f`` (simulated with its exact discretisation).
+- **Stage 2** — a comparator with hysteresis (Schmitt trigger): the
+  output switches high when the OU signal exceeds ``th_high`` and low
+  when it falls below ``th_low``.
+
+The thresholds are calibrated *once*, at a fixed calibration bias, so
+that the mean dwell times match ``1/lambda_c`` and ``1/lambda_e`` at
+that bias — using the closed-form OU mean-first-passage time
+
+``T(x0 -> b) = tau_f * sqrt(2 pi) * Integral_{x0}^{b} e^{y^2/2} Phi(y) dy``
+
+(unit stationary variance).  Because the thresholds are frozen, the
+generated statistics are stationary by construction: when the true bias
+moves, this baseline cannot follow — which is exactly the failure mode
+SAMURAI's uniformisation removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import quad
+from scipy.optimize import brentq
+from scipy.signal import lfilter
+from scipy.stats import norm
+
+from ..devices.mosfet import MosfetParams
+from ..errors import ModelError, SimulationError
+from ..markov.occupancy import OccupancyTrace
+from ..traps.propensity import rates_from_bias
+from ..traps.trap import Trap
+from .current import RtnAmplitudeModel, VanDerZielModel
+from .trace import RTNTrace
+
+#: Filter correlation time as a fraction of the shortest target dwell.
+_TAU_FRACTION = 0.02
+#: OU samples per filter correlation time.  The Schmitt trigger only sees
+#: the sampled path, so under-resolving the filter inflates dwell times
+#: (brief threshold excursions go unseen); 150 keeps that bias to a few
+#: percent at the ~2.8-sigma barriers typical calibrations produce.
+_SAMPLES_PER_TAU = 150.0
+
+
+def ou_mean_first_passage(x0: float, b: float) -> float:
+    """Mean first-passage time of a unit-variance OU process, in units
+    of its correlation time.
+
+    ``T = sqrt(2 pi) * Integral_{x0}^{b} exp(y^2/2) Phi(y) dy`` for
+    ``b > x0`` (Gardiner, ch. 5).
+    """
+    if b <= x0:
+        raise ModelError(f"need b > x0, got x0={x0}, b={b}")
+    value, _ = quad(lambda y: np.exp(0.5 * y * y) * norm.cdf(y), x0, b,
+                    limit=200)
+    return float(np.sqrt(2.0 * np.pi) * value)
+
+
+def _calibrate_thresholds(dwell_low: float, dwell_high: float,
+                          tau_f: float) -> tuple[float, float]:
+    """Solve for Schmitt thresholds matching the two target dwells.
+
+    ``dwell_low`` is the target mean time the output spends low
+    (OU travels from ``th_low`` up to ``th_high``) and ``dwell_high``
+    the time spent high (by symmetry, from ``-th_high`` up to
+    ``-th_low``).  For a fixed threshold separation both passage times
+    are monotone in the centre offset, and for a fixed centre they grow
+    with separation, so two nested Brent solves converge.
+    """
+    t_low = dwell_low / tau_f
+    t_high = dwell_high / tau_f
+
+    def centre_residual(centre: float, half: float) -> float:
+        # log-ratio of achieved to target dwell asymmetry
+        up = ou_mean_first_passage(centre - half, centre + half)
+        down = ou_mean_first_passage(-centre - half, -centre + half)
+        return np.log(up / down) - np.log(t_low / t_high)
+
+    def separation_residual(half: float) -> float:
+        centre = brentq(centre_residual, -8.0, 8.0, args=(half,), xtol=1e-10)
+        up = ou_mean_first_passage(centre - half, centre + half)
+        return np.log(up) - np.log(t_low)
+
+    half = brentq(separation_residual, 1e-4, 8.0, xtol=1e-10)
+    centre = brentq(centre_residual, -8.0, 8.0, args=(half,), xtol=1e-10)
+    return centre - half, centre + half
+
+
+@dataclass
+class YeBaselineGenerator:
+    """Stationary white-noise RTN generator for a single trap.
+
+    Parameters
+    ----------
+    params:
+        The host device.
+    trap:
+        The trap whose statistics the baseline is calibrated to.
+    calibration_v_gs:
+        The frozen calibration bias [V].  The paper notes the method's
+        only reported SRAM use assumed constant bias; its statistics are
+        pinned to this value forever after.
+    calibration_i_d:
+        Nominal drain current [A] at the calibration bias (sets the
+        constant amplitude).
+    model:
+        Amplitude model (default: paper Eq. 3).
+    """
+
+    params: MosfetParams
+    trap: Trap
+    calibration_v_gs: float
+    calibration_i_d: float
+    model: RtnAmplitudeModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.model is None:
+            self.model = VanDerZielModel()
+        lambda_c, lambda_e = rates_from_bias(
+            self.calibration_v_gs, self.trap, self.params.technology)
+        if lambda_c <= 0.0 or lambda_e <= 0.0:
+            raise ModelError(
+                "calibration bias gives a one-sided trap; the white-noise "
+                "baseline cannot be calibrated there"
+            )
+        self.lambda_c = lambda_c
+        self.lambda_e = lambda_e
+        self.tau_f = _TAU_FRACTION * min(1.0 / lambda_c, 1.0 / lambda_e)
+        self.th_low, self.th_high = _calibrate_thresholds(
+            1.0 / lambda_c, 1.0 / lambda_e, self.tau_f)
+        self.amplitude = float(
+            np.asarray(self.model.amplitude(
+                self.params, self.calibration_v_gs, self.calibration_i_d)))
+
+    # ------------------------------------------------------------------
+    def _simulate_ou(self, n_steps: int, dt: float,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Exact-discretisation OU path with unit stationary variance."""
+        decay = np.exp(-dt / self.tau_f)
+        scatter = np.sqrt(1.0 - decay * decay)
+        noise = scatter * rng.standard_normal(n_steps)
+        x0 = rng.standard_normal()
+        # x[k] = decay * x[k-1] + noise[k] is an IIR filter.
+        path, _ = lfilter([1.0], [1.0, -decay], noise, zi=[decay * x0])
+        return path
+
+    @staticmethod
+    def _schmitt(path: np.ndarray, th_low: float, th_high: float,
+                 initial_state: int) -> np.ndarray:
+        """Vectorised Schmitt trigger: forward-fill the last firm level."""
+        events = np.zeros(path.size, dtype=np.int8)
+        events[path >= th_high] = 1
+        events[path <= th_low] = -1
+        firm = np.flatnonzero(events)
+        states = np.empty(path.size, dtype=np.int8)
+        if firm.size == 0:
+            states[:] = initial_state
+            return states
+        # Before the first firm sample, hold the initial state.
+        states[:firm[0]] = initial_state
+        # Between firm samples, hold the previous firm level.
+        levels = (events[firm] > 0).astype(np.int8)
+        lengths = np.diff(np.append(firm, path.size))
+        states[firm[0]:] = np.repeat(levels, lengths)
+        return states
+
+    # ------------------------------------------------------------------
+    def generate_occupancy(self, t_stop: float,
+                           rng: np.random.Generator,
+                           initial_state: int = 0) -> OccupancyTrace:
+        """Generate a telegraph trajectory over ``[0, t_stop]``."""
+        if t_stop <= 0.0:
+            raise SimulationError(f"t_stop must be positive, got {t_stop}")
+        dt = self.tau_f / _SAMPLES_PER_TAU
+        n_steps = int(np.ceil(t_stop / dt)) + 1
+        if n_steps > 100_000_000:
+            raise SimulationError(
+                f"window needs {n_steps} OU samples; shorten t_stop")
+        path = self._simulate_ou(n_steps, dt, rng)
+        states = self._schmitt(path, self.th_low, self.th_high, initial_state)
+        flips = np.flatnonzero(np.diff(states.astype(np.int16))) + 1
+        flip_times = flips * dt
+        keep = flip_times < t_stop
+        return OccupancyTrace.from_transitions(
+            0.0, t_stop, int(states[0]), flip_times[keep])
+
+    def generate(self, times: np.ndarray, rng: np.random.Generator,
+                 initial_state: int = 0, label: str = "") -> RTNTrace:
+        """Generate an RTN current trace on the given grid.
+
+        The amplitude is the frozen calibration-bias amplitude — like
+        the dwell statistics, it cannot follow a time-varying bias.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise SimulationError("times must be 1-D with >= 2 samples")
+        if times[0] < 0.0:
+            raise SimulationError("the baseline grid must start at t >= 0")
+        occupancy = self.generate_occupancy(float(times[-1]) * (1 + 1e-12),
+                                            rng, initial_state)
+        current = self.amplitude * occupancy.sample(times).astype(float)
+        return RTNTrace(times=times, current=current, label=label)

@@ -1,0 +1,61 @@
+"""A from-scratch SPICE-class circuit simulator.
+
+The paper's methodology (Fig. 8) couples SAMURAI to SpiceOPUS with
+BSIM-4 models; this package is the substitute substrate: modified nodal
+analysis with damped Newton, DC operating point with gmin/source
+stepping, and trapezoidal/backward-Euler transient analysis.  Devices
+include the EKV MOSFET from :mod:`repro.devices`, linear R/C, and
+independent sources with DC/PULSE/PWL/SIN stimuli.
+
+Layout:
+
+- :mod:`repro.spice.circuit` — circuit container and node bookkeeping.
+- :mod:`repro.spice.sources` — time-dependent stimulus functions.
+- :mod:`repro.spice.elements` — element classes and their MNA stamps.
+- :mod:`repro.spice.mna` — the stamp target (matrix + RHS wrapper).
+- :mod:`repro.spice.newton` — the damped Newton solver.
+- :mod:`repro.spice.dcop` — DC operating point (gmin/source stepping).
+- :mod:`repro.spice.transient` — transient analysis.
+- :mod:`repro.spice.waveform` — simulation results container.
+- :mod:`repro.spice.netlist` — text-deck parser.
+"""
+
+from .ac import AcResult, ac_analysis
+from .adaptive import AdaptiveOptions, simulate_transient_adaptive
+from .circuit import Circuit
+from .dcop import dc_operating_point
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from .export import circuit_to_deck
+from .netlist import parse_netlist
+from .sources import DC, PULSE, PWL, SIN
+from .transient import TransientOptions, simulate_transient
+from .waveform import Waveform
+
+__all__ = [
+    "AcResult",
+    "AdaptiveOptions",
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "DC",
+    "Mosfet",
+    "PULSE",
+    "PWL",
+    "Resistor",
+    "SIN",
+    "TransientOptions",
+    "VoltageSource",
+    "Waveform",
+    "ac_analysis",
+    "circuit_to_deck",
+    "dc_operating_point",
+    "parse_netlist",
+    "simulate_transient",
+    "simulate_transient_adaptive",
+]

@@ -1,0 +1,161 @@
+"""DC operating point with gmin stepping and source stepping.
+
+The DC solution is the Newton fixed point with capacitors open.  Two
+continuation strategies ride on top of plain Newton, tried in order:
+
+1. **gmin stepping** — a conductance from every node to ground starts
+   large (making the system nearly linear) and is relaxed decade by
+   decade, re-converging at each level from the previous solution.
+2. **source stepping** — all independent sources are scaled from 0 to 1
+   in ramping fractions, with plain Newton at each level.
+
+A small floor gmin (1e-12 S) always remains, as in production SPICE,
+so floating nodes (e.g. a capacitor-isolated gate) stay well posed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .circuit import Circuit
+from .elements import CurrentSource, VoltageSource
+from .mna import Stamper
+from .newton import NewtonOptions, solve_newton
+
+#: Permanent conductance to ground on every node [S].
+GMIN_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class DcSolution:
+    """Result of a DC operating-point analysis.
+
+    Attributes
+    ----------
+    voltages:
+        Node name -> voltage [V].
+    branch_currents:
+        Branch name (``"i(V1)"``) -> current [A].
+    x:
+        The raw unknown vector (node voltages then branch currents).
+    """
+
+    voltages: dict
+    branch_currents: dict
+    x: np.ndarray
+
+    def __getitem__(self, node: str) -> float:
+        if node in self.voltages:
+            return self.voltages[node]
+        if node in self.branch_currents:
+            return self.branch_currents[node]
+        raise KeyError(node)
+
+
+def _assemble_factory(circuit: Circuit, n: int, gmin: float,
+                      source_scale: float = 1.0, t: float = 0.0):
+    """Build the Newton assembler for DC (capacitors open)."""
+
+    def assemble(x: np.ndarray):
+        stamper = Stamper(n)
+        for node in range(circuit.n_nodes):
+            stamper.add_matrix(node, node, gmin)
+        sources = Stamper(n)
+        for element in circuit.elements:
+            if isinstance(element, (VoltageSource, CurrentSource)):
+                element.stamp(sources, x, t, None, {})
+            else:
+                element.stamp(stamper, x, t, None, {})
+        # Independent sources write their targets only to the RHS
+        # (voltage value on the branch row, injected current on node
+        # rows), so scaling just *their* RHS scales the stimuli without
+        # touching the Newton equivalent currents of nonlinear devices.
+        stamper.matrix += sources.matrix
+        stamper.rhs += source_scale * sources.rhs
+        return stamper.matrix, stamper.rhs
+
+    return assemble
+
+
+def dc_operating_point(circuit: Circuit, t: float = 0.0,
+                       initial_guess: dict | None = None,
+                       options: NewtonOptions | None = None) -> DcSolution:
+    """Solve the DC operating point of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve.
+    t:
+        Time at which source stimuli are evaluated (sources are frozen
+        at this instant).
+    initial_guess:
+        Optional node-name -> voltage *nodeset* to seed Newton (useful
+        to pick a branch of a bistable circuit).
+    options:
+        Newton tolerances.
+
+    Raises
+    ------
+    ConvergenceError
+        If plain Newton, gmin stepping and source stepping all fail.
+    """
+    n = circuit.assign_branches()
+    if n == 0:
+        raise ConvergenceError("circuit has no unknowns")
+    x0 = np.zeros(n)
+    if initial_guess:
+        for name, value in initial_guess.items():
+            index = circuit.node(name)
+            if index >= 0:
+                x0[index] = value
+
+    # Strategy 1: plain Newton with the floor gmin.
+    try:
+        x = solve_newton(_assemble_factory(circuit, n, GMIN_FLOOR, t=t),
+                         x0, options)
+        return _package(circuit, x)
+    except ConvergenceError:
+        pass
+
+    # Strategy 2: gmin stepping.
+    x = x0
+    try:
+        for exponent in range(3, 13):
+            gmin = 10.0 ** (-exponent)
+            x = solve_newton(_assemble_factory(circuit, n, gmin, t=t),
+                             x, options)
+        return _package(circuit, x)
+    except ConvergenceError:
+        pass
+
+    # Strategy 3: source stepping.
+    x = x0
+    last_error = None
+    for scale in np.linspace(0.1, 1.0, 10):
+        try:
+            x = solve_newton(
+                _assemble_factory(circuit, n, GMIN_FLOOR,
+                                  source_scale=float(scale), t=t),
+                x, options)
+        except ConvergenceError as exc:
+            last_error = exc
+            break
+    else:
+        return _package(circuit, x)
+    raise ConvergenceError(
+        f"DC operating point failed for {circuit.summary()}"
+    ) from last_error
+
+
+def _package(circuit: Circuit, x: np.ndarray) -> DcSolution:
+    voltages = {name: float(x[circuit.node(name)])
+                for name in circuit.node_names}
+    currents = {}
+    for element in circuit.elements:
+        if element.num_branches:
+            currents[f"i({element.name})"] = float(x[element.branch_index])
+    return DcSolution(voltages=voltages, branch_currents=currents, x=x)

@@ -1,0 +1,98 @@
+"""Netlist export: serialise a circuit back to a text deck.
+
+The inverse of :mod:`repro.spice.netlist`.  Useful for dumping a built
+cell (including injected RTN sources) into a deck that external
+SPICE-class tools — or this package's own parser — can re-read; the
+parser/writer pair round-trips.
+
+Limitations: stimuli are written in their card forms (DC/PULSE/PWL/SIN);
+MOSFETs are written with their technology-card name, so a reader needs
+the same card registry.  Parasitic capacitors attached by
+``attach_mosfet_parasitics`` are emitted as plain C-cards (they carry no
+special marker), so a re-parsed circuit is electrically identical but
+will not re-attach them automatically.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from .circuit import Circuit
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from .mna import GROUND
+from .sources import DC, PULSE, PWL, SIN
+
+
+def _node_name(circuit: Circuit, index: int) -> str:
+    if index == GROUND:
+        return "0"
+    return circuit.node_names[index]
+
+
+def _format_number(value: float) -> str:
+    return f"{value:.9g}"
+
+
+def format_stimulus(stimulus) -> str:
+    """Render a stimulus object as its SPICE card tail."""
+    if isinstance(stimulus, DC):
+        return _format_number(stimulus.value)
+    if isinstance(stimulus, PULSE):
+        args = (stimulus.v1, stimulus.v2, stimulus.delay, stimulus.rise,
+                stimulus.fall, stimulus.width, stimulus.period)
+        return "PULSE(" + " ".join(_format_number(a) for a in args) + ")"
+    if isinstance(stimulus, PWL):
+        pairs = []
+        for t, v in zip(stimulus.times, stimulus.values):
+            pairs.append(_format_number(t))
+            pairs.append(_format_number(v))
+        return "PWL(" + " ".join(pairs) + ")"
+    if isinstance(stimulus, SIN):
+        args = (stimulus.offset, stimulus.amplitude, stimulus.frequency,
+                stimulus.delay, stimulus.damping)
+        return "SIN(" + " ".join(_format_number(a) for a in args) + ")"
+    raise NetlistError(
+        f"cannot serialise stimulus of type {type(stimulus).__name__}; "
+        "held/callable stimuli have no card form")
+
+
+def circuit_to_deck(circuit: Circuit, initial_voltages: dict | None = None,
+                    title: str | None = None) -> str:
+    """Serialise a circuit (and optional ``.ic`` values) to a deck."""
+    lines = [f"* {title if title is not None else circuit.title}"]
+    for element in circuit.elements:
+        lines.append(_element_card(circuit, element))
+    if initial_voltages:
+        parts = " ".join(
+            f"V({node})={_format_number(value)}"
+            for node, value in sorted(initial_voltages.items()))
+        lines.append(f".ic {parts}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _element_card(circuit: Circuit, element) -> str:
+    nodes = [_node_name(circuit, index) for index in element.nodes]
+    if isinstance(element, Resistor):
+        return (f"{element.name} {nodes[0]} {nodes[1]} "
+                f"{_format_number(element.resistance)}")
+    if isinstance(element, Capacitor):
+        return (f"{element.name} {nodes[0]} {nodes[1]} "
+                f"{_format_number(element.capacitance)}")
+    if isinstance(element, (VoltageSource, CurrentSource)):
+        return (f"{element.name} {nodes[0]} {nodes[1]} "
+                f"{format_stimulus(element.stimulus)}")
+    if isinstance(element, Mosfet):
+        params = element.params
+        model = "nmos" if params.is_nmos else "pmos"
+        return (f"{element.name} {nodes[0]} {nodes[1]} {nodes[2]} "
+                f"{nodes[3]} {model} W={_format_number(params.width)} "
+                f"L={_format_number(params.length)} "
+                f"TECH={params.technology.name}")
+    raise NetlistError(
+        f"cannot serialise element of type {type(element).__name__}")

@@ -1,0 +1,96 @@
+"""The MNA stamp target: a dense matrix/RHS pair with ground-aware indexing.
+
+Sign conventions used by every element stamp:
+
+- Unknown vector ``x = [node voltages..., branch currents...]``.
+- Each node row is a KCL equation: (sum of currents *out of* the node)
+  = 0, assembled as ``A x = z`` after linearisation.
+- A conductance ``g`` between nodes ``i`` and ``j`` stamps ``+g`` on the
+  diagonals and ``-g`` off-diagonal.
+- A nonlinear branch with current ``I(v)`` out of node ``i`` stamps its
+  Jacobian into ``A`` and moves the affine remainder
+  ``I(v0) - J v0`` to the RHS.
+- Ground (index ``-1``) rows/columns are skipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+GROUND = -1
+
+
+class Stamper:
+    """Accumulates MNA stamps into a dense system ``A x = z``."""
+
+    def __init__(self, n_unknowns: int) -> None:
+        self.n = n_unknowns
+        self.matrix = np.zeros((n_unknowns, n_unknowns))
+        self.rhs = np.zeros(n_unknowns)
+
+    # -- primitives -----------------------------------------------------
+    def add_matrix(self, row: int, col: int, value: float) -> None:
+        """Add to A[row, col]; either index may be GROUND (skipped)."""
+        if row != GROUND and col != GROUND:
+            self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value: float) -> None:
+        """Add to z[row]; GROUND rows are skipped."""
+        if row != GROUND:
+            self.rhs[row] += value
+
+    # -- composite helpers ----------------------------------------------
+    def add_conductance(self, node_a: int, node_b: int, g: float) -> None:
+        """Stamp a two-terminal conductance between two nodes."""
+        self.add_matrix(node_a, node_a, g)
+        self.add_matrix(node_b, node_b, g)
+        self.add_matrix(node_a, node_b, -g)
+        self.add_matrix(node_b, node_a, -g)
+
+    def add_current_injection(self, node_from: int, node_to: int,
+                              current: float) -> None:
+        """Stamp a known current flowing ``node_from -> node_to``.
+
+        KCL rows: the current leaves ``node_from`` (RHS gains ``-I``
+        because the leaving current moves to the right-hand side) and
+        enters ``node_to``.
+        """
+        self.add_rhs(node_from, -current)
+        self.add_rhs(node_to, current)
+
+    def add_nonlinear_branch(self, node_from: int, node_to: int,
+                             current: float,
+                             jacobian: list[tuple[int, float]]) -> None:
+        """Stamp a Newton-linearised branch current ``node_from -> node_to``.
+
+        ``current`` is the branch current evaluated at the present
+        iterate and ``jacobian`` lists ``(unknown_index, dI/dx)`` pairs
+        *already evaluated* at that iterate.  The affine remainder
+        ``I0 - J x0`` must be handled by the caller passing the
+        equivalent current: here we expect ``current`` to be
+        ``I0 - sum_k (dI/dx_k) x0_k`` + the Jacobian stamped linearly —
+        see :meth:`add_linearised_branch` for the convenient form.
+        """
+        for col, didx in jacobian:
+            self.add_matrix(node_from, col, didx)
+            self.add_matrix(node_to, col, -didx)
+        self.add_current_injection(node_from, node_to, current)
+
+    def add_linearised_branch(self, node_from: int, node_to: int,
+                              i_at_x0: float,
+                              jacobian: list[tuple[int, float]],
+                              x0: np.ndarray) -> None:
+        """Newton stamp of a branch from its value and Jacobian at ``x0``.
+
+        ``I(x) ~ I(x0) + J (x - x0)``; the Jacobian goes in the matrix
+        and the equivalent source ``I(x0) - J x0`` on the RHS.
+        """
+        equivalent = i_at_x0
+        for col, didx in jacobian:
+            if col != GROUND:
+                equivalent -= didx * x0[col]
+        self.add_nonlinear_branch(node_from, node_to, equivalent, jacobian)
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled dense system."""
+        return np.linalg.solve(self.matrix, self.rhs)

@@ -1,0 +1,178 @@
+"""A SPICE-flavoured text netlist parser.
+
+Supported cards (case-insensitive keywords, engineering suffixes per
+:mod:`repro.units`, ``*`` comments, ``+`` continuation lines)::
+
+    R<name> n1 n2 <value>
+    C<name> n1 n2 <value>
+    V<name> n+ n- <value> | DC <value> | PULSE(v1 v2 td tr tf pw per)
+                          | PWL(t1 v1 t2 v2 ...) | SIN(off ampl freq [td] [damp])
+    I<name> n+ n- <same stimulus forms>
+    M<name> d g s b <n|p|nmos|pmos> W=<value> L=<value> TECH=<card> [CAPS]
+    .ic V(node)=<value> ...
+    .end
+
+``M``-cards instantiate the EKV model with the named technology card
+(:mod:`repro.devices.technology`); the optional ``CAPS`` flag attaches
+the standard parasitic capacitance set.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..devices.mosfet import MosfetParams
+from ..devices.technology import get_technology
+from ..errors import NetlistError
+from ..units import parse_value
+from .circuit import Circuit
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+    attach_mosfet_parasitics,
+)
+from .sources import DC, PULSE, PWL, SIN
+
+
+@dataclass
+class ParsedNetlist:
+    """Parser output: the circuit plus any ``.ic`` initial voltages."""
+
+    circuit: Circuit
+    initial_voltages: dict = field(default_factory=dict)
+
+
+def _join_continuations(text: str) -> list[str]:
+    lines: list[str] = []
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise NetlistError("continuation line with nothing to continue")
+            lines[-1] += " " + stripped[1:].strip()
+        else:
+            lines.append(stripped)
+    return lines
+
+
+def _split_function_args(card: str) -> list[str]:
+    """Tokenise a card, keeping ``NAME(a b c)`` groups together."""
+    tokens = []
+    for match in re.finditer(r"[A-Za-z_.][\w.]*\s*\([^)]*\)|\S+", card):
+        tokens.append(match.group(0))
+    return tokens
+
+
+def _parse_stimulus(tokens: list[str], card: str):
+    """Parse the stimulus tail of a V/I card."""
+    if not tokens:
+        raise NetlistError(f"missing source value in card: {card}")
+    head = tokens[0]
+    upper = head.upper()
+    match = re.match(r"(PULSE|PWL|SIN)\s*\((.*)\)\s*$", head,
+                     flags=re.IGNORECASE)
+    if match:
+        kind = match.group(1).upper()
+        args = [parse_value(tok) for tok in match.group(2).replace(",", " ").split()]
+        if kind == "PULSE":
+            if not 2 <= len(args) <= 7:
+                raise NetlistError(f"PULSE takes 2-7 arguments: {card}")
+            return PULSE(*args)
+        if kind == "PWL":
+            if len(args) < 4 or len(args) % 2:
+                raise NetlistError(f"PWL needs an even number (>=4) of "
+                                   f"arguments: {card}")
+            return PWL(times=tuple(args[0::2]), values=tuple(args[1::2]))
+        if not 3 <= len(args) <= 5:
+            raise NetlistError(f"SIN takes 3-5 arguments: {card}")
+        return SIN(*args)
+    if upper == "DC":
+        if len(tokens) < 2:
+            raise NetlistError(f"DC keyword without value: {card}")
+        return DC(parse_value(tokens[1]))
+    return DC(parse_value(head))
+
+
+def _parse_mosfet(name: str, tokens: list[str], circuit: Circuit,
+                  card: str) -> None:
+    if len(tokens) < 5:
+        raise NetlistError(f"M-card needs d g s b and a model: {card}")
+    drain, gate, source, bulk, model = tokens[:5]
+    polarity = model.lower()
+    if polarity in ("nmos", "n"):
+        polarity = "n"
+    elif polarity in ("pmos", "p"):
+        polarity = "p"
+    else:
+        raise NetlistError(f"unknown MOSFET model {model!r}: {card}")
+    width = length = None
+    tech_name = "90nm"
+    want_caps = False
+    for token in tokens[5:]:
+        upper = token.upper()
+        if upper.startswith("W="):
+            width = parse_value(token[2:])
+        elif upper.startswith("L="):
+            length = parse_value(token[2:])
+        elif upper.startswith("TECH="):
+            tech_name = token[5:]
+        elif upper == "CAPS":
+            want_caps = True
+        else:
+            raise NetlistError(f"unknown M-card parameter {token!r}: {card}")
+    technology = get_technology(tech_name)
+    if width is None or length is None:
+        raise NetlistError(f"M-card needs W= and L=: {card}")
+    params = MosfetParams(width=width, length=length, polarity=polarity,
+                          technology=technology)
+    mosfet = Mosfet(name, circuit, drain, gate, source, bulk, params)
+    if want_caps:
+        attach_mosfet_parasitics(circuit, mosfet, drain, gate, source, bulk)
+
+
+_IC_PATTERN = re.compile(r"V\(\s*([^)\s]+)\s*\)\s*=\s*(\S+)", re.IGNORECASE)
+
+
+def parse_netlist(text: str, title: str = "") -> ParsedNetlist:
+    """Parse a netlist string into a circuit plus initial conditions."""
+    circuit = Circuit(title=title)
+    initial_voltages: dict[str, float] = {}
+    for card in _join_continuations(text):
+        upper = card.upper()
+        if upper == ".END":
+            break
+        if upper.startswith(".IC"):
+            for node, value in _IC_PATTERN.findall(card):
+                initial_voltages[node] = parse_value(value)
+            continue
+        if upper.startswith("."):
+            raise NetlistError(f"unsupported control card: {card}")
+        tokens = _split_function_args(card)
+        name, rest = tokens[0], tokens[1:]
+        kind = name[0].upper()
+        if kind in "RC":
+            if len(rest) != 3:
+                raise NetlistError(f"{kind}-card needs 2 nodes + value: {card}")
+            cls = Resistor if kind == "R" else Capacitor
+            cls(name, circuit, rest[0], rest[1], parse_value(rest[2]))
+        elif kind == "V":
+            if len(rest) < 3:
+                raise NetlistError(f"V-card needs 2 nodes + stimulus: {card}")
+            VoltageSource(name, circuit, rest[0], rest[1],
+                          _parse_stimulus(rest[2:], card))
+        elif kind == "I":
+            if len(rest) < 3:
+                raise NetlistError(f"I-card needs 2 nodes + stimulus: {card}")
+            CurrentSource(name, circuit, rest[0], rest[1],
+                          _parse_stimulus(rest[2:], card))
+        elif kind == "M":
+            _parse_mosfet(name, rest, circuit, card)
+        else:
+            raise NetlistError(f"unsupported element card: {card}")
+    return ParsedNetlist(circuit=circuit, initial_voltages=initial_voltages)

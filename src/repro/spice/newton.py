@@ -1,0 +1,101 @@
+"""Damped Newton iteration for the assembled MNA system.
+
+The assembler callback returns the *linearised* system ``A x_new = z``
+at the present iterate (classic SPICE companion/Newton form), so the
+iteration is a fixed point of ``x -> solve(A(x), z(x))``.  Convergence
+is declared on the unknown-vector change; a per-iteration voltage-step
+limit provides the damping that keeps exponential devices from
+overshooting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Knobs of the Newton loop.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration budget before declaring failure.
+    abstol:
+        Absolute unknown-change tolerance [V or A].
+    reltol:
+        Relative tolerance against each unknown's magnitude.
+    max_step:
+        Damping: per-iteration unknown change is clipped to this.
+    """
+
+    max_iterations: int = 60
+    abstol: float = 1e-9
+    reltol: float = 1e-6
+    max_step: float = 0.5
+
+
+def solve_newton(assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+                 x0: np.ndarray,
+                 options: NewtonOptions | None = None) -> np.ndarray:
+    """Solve the nonlinear MNA system from the initial guess ``x0``.
+
+    Parameters
+    ----------
+    assemble:
+        Callback ``x -> (A, z)`` producing the Newton-linearised system
+        at the iterate ``x``.
+    x0:
+        Initial guess for the unknown vector (not mutated).
+    options:
+        Tolerances and damping; defaults are SPICE-like.
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration budget is exhausted or the linear solve fails.
+    """
+    opts = options or NewtonOptions()
+    x = np.array(x0, dtype=float, copy=True)
+    last_change = np.inf
+    for iteration in range(opts.max_iterations):
+        matrix, rhs = assemble(x)
+        try:
+            x_new = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix at Newton iteration {iteration}",
+                iterations=iteration,
+            ) from exc
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(
+                f"non-finite solution at Newton iteration {iteration}",
+                iterations=iteration,
+            )
+        delta = x_new - x
+        step = np.abs(delta).max(initial=0.0)
+        # Damping: clip the per-iteration change, but let the cap scale
+        # with the proposed solution's magnitude so circuits living at
+        # large absolute voltages (linear networks under big injections)
+        # still converge in a handful of iterations.
+        allowed = max(opts.max_step,
+                      0.25 * float(np.abs(x_new).max(initial=0.0)))
+        if step > allowed:
+            delta *= allowed / step
+            x = x + delta
+        else:
+            x = x_new
+        last_change = np.abs(delta).max(initial=0.0)
+        tolerance = opts.abstol + opts.reltol * np.abs(x).max(initial=0.0)
+        if last_change <= tolerance:
+            return x
+    raise ConvergenceError(
+        f"Newton failed to converge in {opts.max_iterations} iterations "
+        f"(last change {last_change:.3g})",
+        iterations=opts.max_iterations, residual=float(last_change),
+    )

@@ -1,0 +1,182 @@
+"""Transient analysis: trapezoidal (with backward-Euler ramp-in) stepping.
+
+The engine starts from user-supplied initial node voltages (SPICE
+``UIC`` semantics: capacitors take their initial charge from those
+voltages) — the natural way to place a bistable SRAM cell on a chosen
+branch — or from a DC operating point.
+
+Each step solves the companion-model MNA system with damped Newton,
+seeded from the previous solution.  On Newton failure the step is
+halved (up to a retry budget) and re-attempted; the first few steps use
+backward Euler to damp the UIC start-up transient before switching to
+trapezoidal integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from .circuit import Circuit
+from .elements import IntegrationCoeff
+from .mna import Stamper
+from .newton import NewtonOptions, solve_newton
+from .waveform import Waveform
+
+#: Permanent conductance to ground on every node [S].
+GMIN_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Transient engine knobs.
+
+    Attributes
+    ----------
+    method:
+        ``"trap"`` (default) or ``"be"``.
+    be_startup_steps:
+        Number of initial backward-Euler steps before trapezoidal
+        integration engages (damps the inconsistent-IC transient).
+    max_halvings:
+        How many times a non-converging step may be halved.
+    newton:
+        Newton tolerances.
+    record_every:
+        Keep every k-th accepted step in the output (1 = all).
+    pre_step:
+        Optional hook ``f(t, x)`` called once before each nominal step
+        with the current time and solution vector.  It may mutate
+        element stimuli — this is how the bi-directionally coupled
+        RTN co-simulation feeds trap-state-dependent currents back into
+        the circuit (paper future-work #1).
+    """
+
+    method: str = "trap"
+    be_startup_steps: int = 4
+    max_halvings: int = 10
+    newton: NewtonOptions = NewtonOptions()
+    record_every: int = 1
+    pre_step: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("be", "trap"):
+            raise SimulationError(f"unknown method {self.method!r}")
+        if self.be_startup_steps < 0 or self.max_halvings < 0:
+            raise SimulationError("step counts must be non-negative")
+        if self.record_every < 1:
+            raise SimulationError("record_every must be >= 1")
+
+
+def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
+                       initial_voltages: dict | None = None,
+                       initial_x: np.ndarray | None = None,
+                       options: TransientOptions | None = None) -> Waveform:
+    """Run a transient analysis from 0 to ``t_stop``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    t_stop:
+        End time [s].
+    dt:
+        Nominal step size [s]; steps shrink temporarily on Newton
+        failure.
+    initial_voltages:
+        Node name -> voltage at t=0 (UIC semantics); unlisted nodes
+        start at 0 V.  Ignored when ``initial_x`` is given.
+    initial_x:
+        A full unknown vector to start from (e.g. a DC solution's
+        ``x``).
+    options:
+        Engine knobs.
+
+    Returns
+    -------
+    Waveform
+        All node voltages and branch currents over time, including t=0.
+    """
+    opts = options or TransientOptions()
+    if t_stop <= 0.0:
+        raise SimulationError(f"t_stop must be positive, got {t_stop}")
+    if dt <= 0.0 or dt > t_stop:
+        raise SimulationError(f"dt must lie in (0, t_stop], got {dt}")
+
+    n = circuit.assign_branches()
+    if initial_x is not None:
+        x = np.array(initial_x, dtype=float, copy=True)
+        if x.shape != (n,):
+            raise SimulationError(
+                f"initial_x has shape {x.shape}, expected ({n},)")
+    else:
+        x = np.zeros(n)
+        for name, value in (initial_voltages or {}).items():
+            index = circuit.node(name)
+            if index >= 0:
+                x[index] = value
+
+    history: dict = {}
+    for element in circuit.elements:
+        element.init_history(x, history)
+
+    def assemble_factory(t_new: float, coeff: IntegrationCoeff):
+        def assemble(x_guess: np.ndarray):
+            stamper = Stamper(n)
+            for node in range(circuit.n_nodes):
+                stamper.add_matrix(node, node, GMIN_FLOOR)
+            for element in circuit.elements:
+                element.stamp(stamper, x_guess, t_new, coeff, history)
+            return stamper.matrix, stamper.rhs
+        return assemble
+
+    times = [0.0]
+    solutions = [x.copy()]
+    t = 0.0
+    accepted = 0
+    while t < t_stop - 1e-15 * t_stop:
+        if opts.pre_step is not None:
+            opts.pre_step(t, x)
+        step = min(dt, t_stop - t)
+        method = "be" if accepted < opts.be_startup_steps else opts.method
+        # Try the step; halve on Newton failure.
+        halvings = 0
+        sub_t = t
+        sub_remaining = step
+        while sub_remaining > 1e-15 * dt:
+            sub_step = sub_remaining if halvings == 0 else \
+                min(sub_remaining, step / 2 ** halvings)
+            coeff = IntegrationCoeff(method=method, dt=sub_step)
+            try:
+                x_new = solve_newton(
+                    assemble_factory(sub_t + sub_step, coeff), x, opts.newton)
+            except ConvergenceError:
+                halvings += 1
+                if halvings > opts.max_halvings:
+                    raise SimulationError(
+                        f"transient stalled at t={sub_t:.6g}s: Newton "
+                        f"failed after {opts.max_halvings} halvings"
+                    ) from None
+                method = "be"  # BE is more robust while struggling
+                continue
+            for element in circuit.elements:
+                element.update_history(x_new, coeff, history)
+            x = x_new
+            sub_t += sub_step
+            sub_remaining -= sub_step
+        t = sub_t
+        accepted += 1
+        if accepted % opts.record_every == 0 or t >= t_stop - 1e-15 * t_stop:
+            times.append(t)
+            solutions.append(x.copy())
+
+    data = np.asarray(solutions)
+    signals = {name: data[:, circuit.node(name)]
+               for name in circuit.node_names}
+    for element in circuit.elements:
+        if element.num_branches:
+            signals[f"i({element.name})"] = data[:, element.branch_index]
+    return Waveform(np.asarray(times), signals)

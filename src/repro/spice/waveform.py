@@ -1,0 +1,100 @@
+"""Simulation results container: named signals over a shared time grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+class Waveform:
+    """Named signals sampled on one (not necessarily uniform) time grid.
+
+    Node voltages are stored under their node names; branch currents
+    under ``"i(<element>)"``.  Derived signals can be attached with
+    :meth:`add_signal`.
+    """
+
+    def __init__(self, times: np.ndarray, signals: dict) -> None:
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise AnalysisError("times must be 1-D with >= 2 samples")
+        if np.any(np.diff(times) <= 0.0):
+            raise AnalysisError("times must be strictly increasing")
+        self.times = times
+        self._signals: dict[str, np.ndarray] = {}
+        for name, values in signals.items():
+            self.add_signal(name, values)
+
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> list[str]:
+        """Signal names, insertion-ordered."""
+        return list(self._signals)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signals
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._signals[name]
+        except KeyError:
+            known = ", ".join(sorted(self._signals))
+            raise AnalysisError(
+                f"no signal {name!r}; known signals: {known}") from None
+
+    def add_signal(self, name: str, values: np.ndarray) -> None:
+        """Attach a signal sampled on this waveform's grid."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.times.shape:
+            raise AnalysisError(
+                f"signal {name!r} has shape {values.shape}, "
+                f"expected {self.times.shape}"
+            )
+        self._signals[name] = values
+
+    # ------------------------------------------------------------------
+    def at(self, name: str, t):
+        """Linearly interpolated signal value at time(s) ``t``."""
+        return np.interp(t, self.times, self[name])
+
+    def window(self, t_lo: float, t_hi: float) -> "Waveform":
+        """Return the waveform restricted to ``[t_lo, t_hi]``."""
+        if t_hi <= t_lo:
+            raise AnalysisError("need t_hi > t_lo")
+        mask = (self.times >= t_lo) & (self.times <= t_hi)
+        if mask.sum() < 2:
+            raise AnalysisError(
+                f"window [{t_lo:g}, {t_hi:g}] contains fewer than 2 samples")
+        return Waveform(self.times[mask],
+                        {k: v[mask] for k, v in self._signals.items()})
+
+    def final(self, name: str) -> float:
+        """The last sample of a signal."""
+        return float(self[name][-1])
+
+    def crossing_time(self, name: str, level: float, rising: bool = True,
+                      after: float = 0.0) -> float | None:
+        """First time the signal crosses ``level`` in the given direction
+        at or after ``after``; ``None`` if it never does.
+
+        Linear interpolation between samples locates the crossing.
+        """
+        values = self[name]
+        times = self.times
+        start = int(np.searchsorted(times, after, side="left"))
+        for i in range(max(start, 1), times.size):
+            prev_v, next_v = values[i - 1], values[i]
+            if rising and prev_v < level <= next_v:
+                pass
+            elif not rising and prev_v > level >= next_v:
+                pass
+            else:
+                continue
+            fraction = (level - prev_v) / (next_v - prev_v)
+            crossing = float(times[i - 1]
+                             + fraction * (times[i] - times[i - 1]))
+            # The segment straddling ``after`` may cross before it.
+            if crossing >= after:
+                return crossing
+        return None

@@ -1,0 +1,174 @@
+"""Monte-Carlo SRAM-array bit-error statistics (paper future-work #3).
+
+The paper's outlook: "predicting the bit-error impact of RTN on entire
+SRAM arrays, which are made up of thousands of SRAM cells that are
+subject to local and global parameter variations."  This module runs
+the full Fig.-8 methodology per cell, with per-cell Pelgrom-style
+threshold mismatch and independently sampled trap populations, and
+aggregates slot-level outcomes into array failure statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.methodology import MethodologyConfig, run_methodology
+from ..errors import SimulationError
+from ..traps.profiling import TrapProfiler
+from .cell import SramCellSpec, TRANSISTOR_NAMES
+from .patterns import TestPattern
+
+#: Pelgrom threshold-mismatch coefficient [V m] (~2.5 mV um).
+PELGROM_AVT = 2.5e-9
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Configuration of one array Monte-Carlo run.
+
+    Attributes
+    ----------
+    n_cells:
+        Number of independent cells to simulate.
+    base_spec:
+        The nominal cell; each sampled cell perturbs its thresholds.
+    pattern:
+        The test pattern each cell executes.
+    rtn_scale:
+        RTN acceleration factor (see paper §IV-B).
+    avt:
+        Pelgrom coefficient [V m]: per-transistor sigma is
+        ``avt / sqrt(W L)``.
+    methodology:
+        Per-cell methodology knobs (dt, amplitude model, ...).
+    """
+
+    n_cells: int
+    base_spec: SramCellSpec
+    pattern: TestPattern
+    rtn_scale: float = 1.0
+    avt: float = PELGROM_AVT
+    methodology: MethodologyConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_cells <= 0:
+            raise SimulationError("n_cells must be positive")
+        if self.avt < 0.0:
+            raise SimulationError("avt must be non-negative")
+
+
+@dataclass
+class CellOutcome:
+    """One cell's result.
+
+    Attributes
+    ----------
+    index:
+        Cell number.
+    vt_shifts:
+        The sampled per-transistor threshold offsets [V].
+    trap_count:
+        Total traps across the cell.
+    clean_failures, rtn_failures:
+        Slots not classified OK in each pass.
+    error_slots:
+        Slot indices that erred under RTN.
+    """
+
+    index: int
+    vt_shifts: dict
+    trap_count: int
+    clean_failures: int
+    rtn_failures: int
+    error_slots: list
+
+
+@dataclass
+class ArrayResult:
+    """Aggregated array statistics.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-cell results.
+    n_slots:
+        Pattern slots per cell.
+    """
+
+    outcomes: list = field(default_factory=list)
+    n_slots: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failing_cells(self) -> int:
+        """Cells with at least one non-OK slot under RTN."""
+        return sum(1 for o in self.outcomes if o.rtn_failures > 0)
+
+    @property
+    def cell_failure_rate(self) -> float:
+        return self.failing_cells / self.n_cells if self.outcomes else 0.0
+
+    @property
+    def slot_failure_rate(self) -> float:
+        """Fraction of all (cell, slot) pairs not OK under RTN."""
+        total = self.n_cells * self.n_slots
+        if total == 0:
+            return 0.0
+        return sum(o.rtn_failures for o in self.outcomes) / total
+
+    @property
+    def baseline_failure_rate(self) -> float:
+        """Same, for the clean pass (variation-only failures)."""
+        total = self.n_cells * self.n_slots
+        if total == 0:
+            return 0.0
+        return sum(o.clean_failures for o in self.outcomes) / total
+
+
+def sample_vt_shifts(rng: np.random.Generator, spec: SramCellSpec,
+                     avt: float) -> dict:
+    """Draw Pelgrom-distributed threshold offsets for all six devices."""
+    shifts = {}
+    for name in TRANSISTOR_NAMES:
+        params = spec.device_params(name)
+        sigma = avt / np.sqrt(params.area)
+        shifts[name] = float(rng.normal(0.0, sigma))
+    return shifts
+
+
+def simulate_array(config: ArrayConfig, rng: np.random.Generator,
+                   profiler: TrapProfiler | None = None) -> ArrayResult:
+    """Run the per-cell methodology across a sampled array.
+
+    Each cell gets fresh threshold mismatch and a fresh trap population;
+    both are drawn from the shared generator so one seed reproduces the
+    whole array.
+    """
+    import dataclasses
+
+    base = config.base_spec
+    profiler = profiler or TrapProfiler(base.technology)
+    method_config = config.methodology or MethodologyConfig()
+    method_config = dataclasses.replace(method_config,
+                                        rtn_scale=config.rtn_scale)
+    result = ArrayResult(n_slots=len(config.pattern.operations))
+    for index in range(config.n_cells):
+        shifts = sample_vt_shifts(rng, base, config.avt)
+        spec = dataclasses.replace(base, vt_shifts=shifts)
+        run = run_methodology(config.pattern, rng, spec=spec,
+                              profiler=profiler, config=method_config)
+        clean_failures = sum(1 for r in run.clean_results
+                             if r.outcome.value != "ok")
+        rtn_failures = sum(1 for r in run.rtn_results
+                           if r.outcome.value != "ok")
+        result.outcomes.append(CellOutcome(
+            index=index, vt_shifts=shifts,
+            trap_count=sum(len(r.traps) for r in run.rtn.values()),
+            clean_failures=clean_failures, rtn_failures=rtn_failures,
+            error_slots=run.failed_slots()))
+    return result

@@ -1,0 +1,101 @@
+"""Per-transistor bias extraction from a clean transient.
+
+The first SPICE pass of the methodology yields node voltages; SAMURAI
+needs, per transistor and per time sample, (a) the effective gate drive
+that controls the trap statistics and (b) the nominal drain current
+that sets the RTN amplitude (paper Eq. 3).
+
+Effective drive convention (matches what the trap band model and the
+amplitude models expect — positive when the device conducts):
+
+- NMOS: ``v_drive = v_gate - min(v_drain, v_source)`` (the EKV channel
+  is symmetric; the lower terminal acts as the source, which matters
+  for the pass gates whose terminals swap roles during writes).
+- PMOS: ``v_drive = max(v_drain, v_source) - v_gate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devices.ekv import drain_current
+from ..errors import AnalysisError
+from ..spice.waveform import Waveform
+from .cell import SramCell
+
+
+@dataclass(frozen=True)
+class BiasRecord:
+    """One transistor's bias history.
+
+    Attributes
+    ----------
+    name:
+        Transistor name (``"M1"``...).
+    times:
+        Sample times [s].
+    v_drive:
+        Effective gate drive [V] (on-direction convention).
+    i_d:
+        Signed nominal channel current [A], positive drain -> source.
+        The sign matters: the RTN current must oppose the *instantaneous*
+        conduction direction, which flips for pass gates between
+        write-0 and write-1.
+    """
+
+    name: str
+    times: np.ndarray
+    v_drive: np.ndarray
+    i_d: np.ndarray
+
+    def peak_current(self) -> float:
+        """Largest nominal current magnitude [A]."""
+        return float(np.abs(self.i_d).max())
+
+    def on_fraction(self, threshold: float = 0.5) -> float:
+        """Fraction of samples with drive above ``threshold`` volts."""
+        return float(np.mean(self.v_drive > threshold))
+
+
+def _node_signal(waveform: Waveform, node: str) -> np.ndarray:
+    if node in ("0", "gnd", "GND", "vss", "VSS"):
+        return np.zeros_like(waveform.times)
+    return waveform[node]
+
+
+def extract_biases(cell: SramCell, waveform: Waveform) -> dict:
+    """Extract every cell transistor's :class:`BiasRecord`.
+
+    Parameters
+    ----------
+    cell:
+        The cell whose transistor/terminal registry to use.
+    waveform:
+        A transient result containing the cell's node voltages.
+
+    Returns
+    -------
+    dict
+        Transistor name -> :class:`BiasRecord`.
+    """
+    records = {}
+    for name, mosfet in cell.transistors.items():
+        drain, gate, source, bulk = cell.terminals[name]
+        v_d = _node_signal(waveform, drain)
+        v_g = _node_signal(waveform, gate)
+        v_s = _node_signal(waveform, source)
+        v_b = _node_signal(waveform, bulk)
+        params = mosfet.params
+        if params.is_nmos:
+            v_drive = v_g - np.minimum(v_d, v_s)
+        else:
+            v_drive = np.maximum(v_d, v_s) - v_g
+        i_d = drain_current(params, v_g, v_d, v_s, v_b)
+        records[name] = BiasRecord(
+            name=name, times=waveform.times.copy(),
+            v_drive=v_drive, i_d=np.asarray(i_d, dtype=float))
+    if not records:
+        raise AnalysisError("cell has no transistors")
+    return records

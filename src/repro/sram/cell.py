@@ -1,0 +1,191 @@
+"""The 6T SRAM cell netlist (paper Fig. 1).
+
+Transistor naming follows the paper:
+
+- ``M1`` — pass NMOS between BL and Q (gate WL),
+- ``M2`` — pass NMOS between BLB and QB (gate WL),
+- ``M3``/``M5`` — PMOS pull-up / NMOS pull-down of the inverter whose
+  *input is Q* and output is QB (so M5's gate voltage is Q, matching
+  paper Fig. 8 plot (b)),
+- ``M4``/``M6`` — the mirror inverter (input QB, output Q; M6's gate is
+  QB, matching plot (c)).
+
+Sizing uses the classic read/write-stability ratios: the pull-down is
+the strongest device, the pass gate intermediate, the pull-up weakest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..devices.mosfet import MosfetParams
+from ..devices.technology import TECH_90NM, Technology
+from ..errors import NetlistError
+from ..spice.circuit import Circuit
+from ..spice.elements import (
+    Capacitor,
+    Mosfet,
+    VoltageSource,
+    attach_mosfet_parasitics,
+)
+from ..spice.sources import DC
+
+#: The six transistors of the cell, paper order.
+TRANSISTOR_NAMES = ("M1", "M2", "M3", "M4", "M5", "M6")
+
+
+@dataclass(frozen=True)
+class SramCellSpec:
+    """Geometry and supply choices for one 6T cell.
+
+    Attributes
+    ----------
+    technology:
+        The card providing device models and nominal widths.
+    vdd:
+        Supply [V]; defaults to the card's nominal supply.
+    pulldown_factor, pass_factor, pullup_factor:
+        Widths as multiples of the card's nominal NMOS width, encoding
+        the cell's beta/gamma ratios (defaults 1.25 / 0.83 / 0.63 of
+        ``w_nominal_n`` give a writable yet read-stable cell).
+    node_capacitance:
+        Extra lumped capacitance on Q and QB [F] (wiring).
+    vt_shifts:
+        Optional per-transistor threshold-voltage offsets [V]
+        (``{"M1": +0.02, ...}``) modelling local parameter variation —
+        the knob the Monte-Carlo array analysis turns (paper
+        future-work #2/#3).
+    """
+
+    technology: Technology = TECH_90NM
+    vdd: float | None = None
+    pulldown_factor: float = 1.25
+    pass_factor: float = 0.83
+    pullup_factor: float = 0.63
+    node_capacitance: float = 0.1e-15
+    vt_shifts: dict | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("pulldown_factor", "pass_factor", "pullup_factor"):
+            if getattr(self, name) <= 0.0:
+                raise NetlistError(f"{name} must be positive")
+        if self.node_capacitance < 0.0:
+            raise NetlistError("node_capacitance must be non-negative")
+        if self.vdd is not None and self.vdd <= 0.0:
+            raise NetlistError("vdd must be positive")
+
+    @property
+    def supply(self) -> float:
+        return self.vdd if self.vdd is not None else self.technology.vdd
+
+    def device_params(self, name: str) -> MosfetParams:
+        """Return the :class:`MosfetParams` of a cell transistor.
+
+        Any ``vt_shifts`` entry for the transistor is folded into its
+        technology card's threshold voltage.
+        """
+        tech = self._shifted_technology(name)
+        base = self.technology.w_nominal_n
+        if name in ("M1", "M2"):
+            return MosfetParams(base * self.pass_factor, tech.node, "n", tech)
+        if name in ("M5", "M6"):
+            return MosfetParams(base * self.pulldown_factor, tech.node, "n",
+                                tech)
+        if name in ("M3", "M4"):
+            return MosfetParams(base * self.pullup_factor, tech.node, "p",
+                                tech)
+        raise NetlistError(f"unknown transistor {name!r}")
+
+    def _shifted_technology(self, name: str) -> Technology:
+        shift = (self.vt_shifts or {}).get(name, 0.0)
+        if shift == 0.0:
+            return self.technology
+        if name in ("M3", "M4"):
+            return dataclasses.replace(
+                self.technology,
+                vt0_p=self.technology.vt0_p + shift)
+        return dataclasses.replace(
+            self.technology, vt0_n=self.technology.vt0_n + shift)
+
+
+@dataclass
+class SramCell:
+    """A built cell: the circuit plus element/terminal bookkeeping.
+
+    Attributes
+    ----------
+    spec:
+        The spec the cell was built from.
+    circuit:
+        The underlying :class:`repro.spice.circuit.Circuit`.
+    transistors:
+        Name -> the :class:`Mosfet` element.
+    terminals:
+        Name -> ``(drain, gate, source, bulk)`` node-name tuple, in the
+        orientation used at build time (pass-gate drains on the bitline
+        side).
+    """
+
+    spec: SramCellSpec
+    circuit: Circuit
+    transistors: dict = field(default_factory=dict)
+    terminals: dict = field(default_factory=dict)
+
+    @property
+    def vdd(self) -> float:
+        return self.spec.supply
+
+    def source(self, name: str) -> VoltageSource:
+        """Access one of the stimulus sources (VWL, VBL, VBLB, VDD)."""
+        return self.circuit.element(name)
+
+    def set_stimuli(self, wl, bl, blb) -> None:
+        """Install the wordline/bitline stimulus functions."""
+        self.source("VWL").stimulus = wl
+        self.source("VBL").stimulus = bl
+        self.source("VBLB").stimulus = blb
+
+    def initial_voltages(self, stored_bit: int) -> dict:
+        """UIC node voltages holding the given bit before the stimulus."""
+        if stored_bit not in (0, 1):
+            raise NetlistError(f"stored_bit must be 0 or 1, got {stored_bit}")
+        q = self.vdd if stored_bit else 0.0
+        return {"q": q, "qb": self.vdd - q, "vdd": self.vdd,
+                "bl": 0.0, "blb": 0.0, "wl": 0.0}
+
+
+def build_sram_cell(spec: SramCellSpec | None = None) -> SramCell:
+    """Build the 6T cell with stimulus placeholders.
+
+    The wordline and bitlines start as grounded DC sources; install the
+    pattern stimuli with :meth:`SramCell.set_stimuli`.
+    """
+    spec = spec or SramCellSpec()
+    circuit = Circuit(title=f"6T SRAM ({spec.technology.name})")
+    VoltageSource("VDD", circuit, "vdd", "0", DC(spec.supply))
+    VoltageSource("VWL", circuit, "wl", "0", DC(0.0))
+    VoltageSource("VBL", circuit, "bl", "0", DC(0.0))
+    VoltageSource("VBLB", circuit, "blb", "0", DC(0.0))
+
+    layout = {
+        # name: (drain, gate, source, bulk)
+        "M1": ("bl", "wl", "q", "0"),
+        "M2": ("blb", "wl", "qb", "0"),
+        "M3": ("qb", "q", "vdd", "vdd"),
+        "M5": ("qb", "q", "0", "0"),
+        "M4": ("q", "qb", "vdd", "vdd"),
+        "M6": ("q", "qb", "0", "0"),
+    }
+    cell = SramCell(spec=spec, circuit=circuit)
+    for name in TRANSISTOR_NAMES:
+        drain, gate, source, bulk = layout[name]
+        mosfet = Mosfet(name, circuit, drain, gate, source, bulk,
+                        spec.device_params(name))
+        attach_mosfet_parasitics(circuit, mosfet, drain, gate, source, bulk)
+        cell.transistors[name] = mosfet
+        cell.terminals[name] = layout[name]
+    if spec.node_capacitance > 0.0:
+        Capacitor("Cq", circuit, "q", "0", spec.node_capacitance)
+        Capacitor("Cqb", circuit, "qb", "0", spec.node_capacitance)
+    return cell

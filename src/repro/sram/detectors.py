@@ -1,0 +1,166 @@
+"""Operation-outcome classification: the paper's Fig. 5 taxonomy.
+
+Paper Fig. 5 distinguishes three write outcomes:
+
+- **OK** — Q settles to its correct value before WL is deasserted;
+- **SLOW** — "Q does not assume its correct value until long after WL
+  is reset (hence a read operation initiated in the interim can upset
+  the stored value)";
+- **ERROR** — the cell ends the slot holding the wrong bit.
+
+The classifier reads the simulated waveform against the pattern
+schedule.  A slot fails (ERROR) when the stored node is on the wrong
+side of V_dd/2 at the end of the slot; it is SLOW when the final value
+is correct but the stored node reached its valid band only after WL
+deassertion plus a settle allowance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import AnalysisError
+from ..spice.waveform import Waveform
+
+
+class OpOutcome(Enum):
+    """Verdict for one pattern slot."""
+
+    OK = "ok"
+    SLOW = "slow"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Classification of one scheduled operation.
+
+    Attributes
+    ----------
+    index:
+        Slot number within the pattern.
+    kind:
+        Operation kind (``write``/``read``/``hold``).
+    expected_bit:
+        The bit the cell must hold at slot end.
+    final_q:
+        Q voltage at slot end [V].
+    settle_time:
+        When Q entered (and stayed in) its valid band, relative to WL
+        deassertion [s]; negative means it settled before WL fell,
+        ``None`` when it never settled.
+    outcome:
+        The verdict.
+    """
+
+    index: int
+    kind: str
+    expected_bit: int
+    final_q: float
+    settle_time: float | None
+    outcome: OpOutcome
+
+
+@dataclass(frozen=True)
+class DetectorThresholds:
+    """Voltage bands and timing allowance used by the classifier.
+
+    Attributes
+    ----------
+    valid_fraction:
+        Q must land within this fraction of V_dd of the rail to count
+        as settled (0.9 -> above 0.9 V_dd for a 1, below 0.1 V_dd for
+        a 0).
+    settle_allowance:
+        Time after WL deassert within which settling still counts as
+        OK rather than SLOW [s].
+    """
+
+    valid_fraction: float = 0.9
+    settle_allowance: float = 0.3e-9
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.valid_fraction < 1.0:
+            raise AnalysisError(
+                "valid_fraction must lie in (0.5, 1), got "
+                f"{self.valid_fraction}")
+        if self.settle_allowance < 0.0:
+            raise AnalysisError("settle_allowance must be non-negative")
+
+
+def _settled_from(waveform: Waveform, node: str, t_lo: float, t_hi: float,
+                  low: float, high: float, bit: int) -> float | None:
+    """Earliest time in [t_lo, t_hi] from which the node stays valid."""
+    window = waveform.window(t_lo, t_hi)
+    values = window[node]
+    valid = values >= high if bit else values <= low
+    if not valid[-1]:
+        return None
+    # Walk back from the end to the last invalid sample.
+    last_invalid = -1
+    for i in range(values.size - 1, -1, -1):
+        if not valid[i]:
+            last_invalid = i
+            break
+    if last_invalid == -1:
+        return float(window.times[0])
+    if last_invalid == values.size - 1:
+        return None
+    return float(window.times[last_invalid + 1])
+
+
+def classify_operations(waveform: Waveform, schedule: list,
+                        vdd: float, node: str = "q",
+                        thresholds: DetectorThresholds | None = None
+                        ) -> list[OpResult]:
+    """Classify every scheduled operation against the simulated waveform.
+
+    Parameters
+    ----------
+    waveform:
+        The transient result (must span the schedule).
+    schedule:
+        The :class:`repro.sram.patterns.ScheduledOp` list.
+    vdd:
+        The cell supply [V] (sets the valid bands).
+    node:
+        The stored node to judge (default ``"q"``).
+    thresholds:
+        Classifier knobs.
+    """
+    if not schedule:
+        raise AnalysisError("empty schedule")
+    th = thresholds or DetectorThresholds()
+    low = (1.0 - th.valid_fraction) * vdd
+    high = th.valid_fraction * vdd
+    results = []
+    for index, item in enumerate(schedule):
+        bit = item.expected_bit
+        final_q = float(waveform.at(node, item.t_end))
+        correct_side = final_q >= vdd / 2.0 if bit else final_q < vdd / 2.0
+        settled_at = _settled_from(waveform, node, item.t_start, item.t_end,
+                                   low, high, bit)
+        wl_reference = item.wl_off if item.op.kind != "hold" else item.t_start
+        settle_time = None if settled_at is None \
+            else settled_at - wl_reference
+        if not correct_side:
+            outcome = OpOutcome.ERROR
+        elif settled_at is None:
+            outcome = OpOutcome.SLOW  # right side but never firmly valid
+        elif settle_time > th.settle_allowance:
+            outcome = OpOutcome.SLOW
+        else:
+            outcome = OpOutcome.OK
+        results.append(OpResult(
+            index=index, kind=item.op.kind, expected_bit=bit,
+            final_q=final_q, settle_time=settle_time, outcome=outcome))
+    return results
+
+
+def count_outcomes(results: list) -> dict:
+    """Aggregate a result list into ``{"ok": n, "slow": n, "error": n}``."""
+    counts = {outcome.value: 0 for outcome in OpOutcome}
+    for result in results:
+        counts[result.outcome.value] += 1
+    return counts

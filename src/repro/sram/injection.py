@@ -1,0 +1,68 @@
+"""RTN injection: model each transistor's noise as a current source.
+
+Paper Fig. 4 models the RTN of a transistor as a current source between
+drain and source that *opposes* the nominal transistor current.  The
+generated traces are signed like the channel current (positive
+drain -> source), so a single source oriented source -> drain opposes
+the conduction at every instant: when the channel flows d -> s the
+injected value is positive (current pushed s -> d), and when a pass
+gate's conduction reverses (write-0 vs write-1) the trace goes negative
+and the injection flips with it.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..rtn.trace import RTNTrace
+from ..spice.elements import CurrentSource
+from ..spice.sources import PWL
+from .cell import SramCell
+
+#: Prefix of the injected sources' element names.
+RTN_SOURCE_PREFIX = "Irtn_"
+
+
+def attach_rtn_sources(cell: SramCell, traces: dict,
+                       scale: float = 1.0) -> list[str]:
+    """Attach one opposing current source per provided trace.
+
+    Parameters
+    ----------
+    cell:
+        The cell to modify (in place).
+    traces:
+        Transistor name -> :class:`RTNTrace`.
+    scale:
+        Multiplier applied to every trace (the paper's x30 accelerated
+        illustration knob).
+
+    Returns
+    -------
+    list
+        Names of the created sources (for later removal).
+    """
+    if scale < 0.0:
+        raise SimulationError(f"scale must be non-negative, got {scale}")
+    created = []
+    for name, trace in traces.items():
+        if name not in cell.transistors:
+            raise SimulationError(f"cell has no transistor {name!r}")
+        if not isinstance(trace, RTNTrace):
+            raise SimulationError(f"trace for {name!r} is not an RTNTrace")
+        drain, _, source, _ = cell.terminals[name]
+        node_from, node_to = source, drain
+        stimulus = PWL.from_arrays(trace.times, trace.current * scale)
+        element_name = f"{RTN_SOURCE_PREFIX}{name}"
+        CurrentSource(element_name, cell.circuit, node_from, node_to,
+                      stimulus)
+        created.append(element_name)
+    return created
+
+
+def detach_rtn_sources(cell: SramCell) -> int:
+    """Remove every previously attached RTN source; return the count."""
+    names = [element.name for element in cell.circuit.elements
+             if element.name.startswith(RTN_SOURCE_PREFIX)]
+    for name in names:
+        cell.circuit.remove(name)
+    return len(names)

@@ -1,0 +1,228 @@
+"""Test-pattern stimulus generation for the 6T cell.
+
+The paper drives its methodology with "a test pattern of reads and
+writes" — concretely the bit pattern ``[1,1,0,1,0,1,0,0,1]`` written to
+the cell.  This module turns an operation list into the WL/BL/BLB
+piecewise-linear stimuli plus the per-operation timing bookkeeping the
+failure detectors need (each operation's window and the WL-deassert
+instant, which Fig. 5 shows is the RTN-critical moment).
+
+Timing of one cycle (defaults in :class:`TestPattern`)::
+
+      0        wl_delay        wl_delay+wl_width      cycle
+      |-- bitlines settle --|== WL high ==|-- hold/settle --|
+
+Reads are modelled as both bitlines held at V_dd during the WL pulse —
+the worst-case disturb condition of a pre-charged read (the paper's
+footnote 2 notes SAMURAI predicts read failures too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..spice.sources import PWL
+
+#: Operation kinds.
+WRITE = "write"
+READ = "read"
+HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One pattern slot.
+
+    Attributes
+    ----------
+    kind:
+        ``"write"``, ``"read"`` or ``"hold"``.
+    bit:
+        The written bit for writes; for reads/holds, the bit the cell is
+        expected to retain through the slot (filled in by
+        :meth:`TestPattern.operations_with_expectations`).
+    """
+
+    kind: str
+    bit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (WRITE, READ, HOLD):
+            raise SimulationError(f"unknown operation kind {self.kind!r}")
+        if self.kind == WRITE and self.bit not in (0, 1):
+            raise SimulationError("write operations need bit 0 or 1")
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """An operation placed on the timeline.
+
+    Attributes
+    ----------
+    op:
+        The pattern slot.
+    expected_bit:
+        The bit the cell must hold at the end of the slot.
+    t_start, t_end:
+        Slot window [s].
+    wl_on, wl_off:
+        Wordline assert/deassert instants [s] (equal to ``t_start`` for
+        holds, which never raise WL).
+    """
+
+    op: Operation
+    expected_bit: int
+    t_start: float
+    t_end: float
+    wl_on: float
+    wl_off: float
+
+
+@dataclass(frozen=True)
+class TestPattern:
+    """A sequence of operations with shared cycle timing.
+
+    Attributes
+    ----------
+    operations:
+        The slots, executed in order.
+    initial_bit:
+        The bit stored before the first slot.
+    cycle:
+        Slot duration [s].
+    wl_delay:
+        WL assert time within the slot [s] (bitlines settle first).
+    wl_width:
+        WL pulse width [s].
+    edge_time:
+        Rise/fall time of every driven edge [s].
+    vdd:
+        Logic-high level [V] — set from the cell when building
+        waveforms.
+    """
+
+    operations: tuple
+    initial_bit: int = 0
+    cycle: float = 10e-9
+    wl_delay: float = 2e-9
+    wl_width: float = 4e-9
+    edge_time: float = 0.1e-9
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise SimulationError("a pattern needs at least one operation")
+        if self.initial_bit not in (0, 1):
+            raise SimulationError("initial_bit must be 0 or 1")
+        if self.cycle <= 0.0 or self.wl_width <= 0.0 or self.edge_time <= 0.0:
+            raise SimulationError("timing parameters must be positive")
+        if self.wl_delay < 0.0:
+            raise SimulationError("wl_delay must be non-negative")
+        if self.wl_delay + self.wl_width + 2 * self.edge_time >= self.cycle:
+            raise SimulationError(
+                "WL pulse (delay + width + edges) must fit inside the cycle")
+
+    @property
+    def duration(self) -> float:
+        """Total pattern duration [s]."""
+        return self.cycle * len(self.operations)
+
+    def schedule(self) -> list[ScheduledOp]:
+        """Place every operation on the timeline with its expected bit."""
+        scheduled = []
+        stored = self.initial_bit
+        for index, op in enumerate(self.operations):
+            t0 = index * self.cycle
+            if op.kind == WRITE:
+                stored = op.bit
+            wl_on = t0 + self.wl_delay if op.kind != HOLD else t0
+            wl_off = wl_on + self.wl_width if op.kind != HOLD else t0
+            scheduled.append(ScheduledOp(
+                op=op, expected_bit=stored, t_start=t0, t_end=t0 + self.cycle,
+                wl_on=wl_on, wl_off=wl_off))
+        return scheduled
+
+
+@dataclass(frozen=True)
+class PatternWaveforms:
+    """The stimuli and schedule for one pattern run.
+
+    Attributes
+    ----------
+    wl, bl, blb:
+        PWL stimulus functions for the cell sources.
+    schedule:
+        Per-operation timing and expectations.
+    duration:
+        Total run length [s].
+    suggested_dt:
+        A step size resolving every driven edge.
+    """
+
+    wl: PWL
+    bl: PWL
+    blb: PWL
+    schedule: list = field(default_factory=list)
+    duration: float = 0.0
+    suggested_dt: float = 0.0
+
+
+def write_pattern(bits, initial_bit: int = 0, **timing) -> TestPattern:
+    """Build a pure-write pattern from a bit list (paper §IV-B uses
+    ``[1,1,0,1,0,1,0,0,1]``)."""
+    ops = tuple(Operation(WRITE, int(b)) for b in bits)
+    return TestPattern(operations=ops, initial_bit=initial_bit, **timing)
+
+
+def build_pattern_waveforms(pattern: TestPattern, vdd: float
+                            ) -> PatternWaveforms:
+    """Convert a pattern into PWL stimuli plus the schedule.
+
+    Bitlines switch at the start of each slot (giving them
+    ``wl_delay`` to settle before WL rises); WL pulses within the slot.
+    """
+    if vdd <= 0.0:
+        raise SimulationError(f"vdd must be positive, got {vdd}")
+    edge = pattern.edge_time
+    schedule = pattern.schedule()
+
+    def add_level(points: list, t: float, value: float) -> None:
+        """Append a level change beginning at time t (edge-long ramp)."""
+        points.append((t, points[-1][1] if points else 0.0))
+        points.append((t + edge, value))
+
+    wl_points: list = [(0.0, 0.0)]
+    bl_points: list = [(0.0, 0.0)]
+    blb_points: list = [(0.0, 0.0)]
+    for item in schedule:
+        kind = item.op.kind
+        if kind == WRITE:
+            bl_level = vdd if item.op.bit else 0.0
+            blb_level = 0.0 if item.op.bit else vdd
+        elif kind == READ:
+            bl_level = blb_level = vdd  # precharged-high read model
+        else:
+            bl_level = blb_level = 0.0
+        add_level(bl_points, item.t_start, bl_level)
+        add_level(blb_points, item.t_start, blb_level)
+        if kind != HOLD:
+            add_level(wl_points, item.wl_on - edge, vdd)
+            add_level(wl_points, item.wl_off, 0.0)
+
+    def to_pwl(points: list) -> PWL:
+        times, values = [], []
+        for t, v in points:
+            if times and t <= times[-1]:
+                t = times[-1] + edge * 1e-3  # keep strictly increasing
+            times.append(t)
+            values.append(v)
+        if len(times) == 1:
+            times.append(times[0] + pattern.duration)
+            values.append(values[0])
+        return PWL(times=tuple(times), values=tuple(values))
+
+    return PatternWaveforms(
+        wl=to_pwl(wl_points), bl=to_pwl(bl_points), blb=to_pwl(blb_points),
+        schedule=schedule, duration=pattern.duration,
+        suggested_dt=edge / 2.0,
+    )

@@ -1,0 +1,129 @@
+"""Surface potential and the bias-dependent trap energy offset.
+
+Paper Eq. 2 needs ``(E_T - E_F)|_t`` as a function of the trap energy
+``E_tr``, depth ``y_tr``, the instantaneous gate bias ``V_gs|_t`` and
+device parameters, citing Dunga's model.  We implement the standard
+charge-sheet construction:
+
+1. Solve the implicit surface-potential equation of an MOS capacitor,
+
+   ``V_gb - V_fb = psi_s + gamma_b * sqrt(psi_s + V_t e^{(psi_s - 2 phi_F)/V_t})``
+
+   with the body factor ``gamma_b = sqrt(2 q eps_Si N_A) / C_ox``.  The
+   right-hand side is strictly increasing in ``psi_s``, so a vectorised
+   bisection converges unconditionally.
+
+2. Tilt the trap level by the band bending and by the oxide field at the
+   trap depth:
+
+   ``E_T - E_F = q ( E_tr - psi_s - (y_tr / t_ox) * V_ox )``  with
+   ``V_ox = V_gb - V_fb - psi_s``.
+
+Raising the gate bias raises both ``psi_s`` and ``V_ox``, so
+``E_T - E_F`` falls, ``beta`` falls, and the trap fills — the physics
+behind plot (b)/(c) of paper Fig. 8 where trap activity follows the gate
+waveform.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import EPS_SI, Q_ELECTRON, thermal_voltage
+from ..devices.technology import Technology
+from ..errors import ModelError
+from .trap import Trap
+
+_BISECTION_ITERATIONS = 80
+
+
+def body_factor(tech: Technology) -> float:
+    """Return the body factor ``gamma_b = sqrt(2 q eps_Si N_A)/C_ox`` [V^0.5]."""
+    return math.sqrt(2.0 * Q_ELECTRON * EPS_SI * tech.doping) / tech.c_ox
+
+
+def surface_potential(v_gb, tech: Technology):
+    """Solve the charge-sheet surface potential ``psi_s(V_gb)`` [V].
+
+    Vectorised over ``v_gb``.  Gate voltages at or below flat band clamp
+    to ``psi_s = 0`` (accumulation-side band bending is irrelevant to
+    electron traps over an n-channel and would only complicate the
+    solver).
+    """
+    v_gb = np.asarray(v_gb, dtype=float)
+    scalar = v_gb.ndim == 0
+    v_gb = np.atleast_1d(v_gb)
+    v_t = thermal_voltage(tech.temperature)
+    gamma_b = body_factor(tech)
+    two_phi_f = 2.0 * tech.phi_f
+    drive = v_gb - tech.v_fb
+
+    psi = np.zeros_like(drive)
+    active = drive > 0.0
+    if np.any(active):
+        lo = np.zeros(int(active.sum()))
+        hi = drive[active].copy()  # gamma_b term >= 0 ==> root <= drive
+
+        def residual(p):
+            # Clip the exponent: above ~psi_s = 2 phi_F + ~40 V_t the
+            # charge term explodes and the residual sign is already
+            # decided, so clipping cannot move the bracket.
+            arg = np.clip((p - two_phi_f) / v_t, -700.0, 80.0)
+            charge = p + v_t * np.exp(arg)
+            return p + gamma_b * np.sqrt(np.maximum(charge, 0.0)) - drive[active]
+
+        for _ in range(_BISECTION_ITERATIONS):
+            mid = 0.5 * (lo + hi)
+            positive = residual(mid) > 0.0
+            hi = np.where(positive, mid, hi)
+            lo = np.where(positive, lo, mid)
+        psi[active] = 0.5 * (lo + hi)
+    return float(psi[0]) if scalar else psi
+
+
+def oxide_voltage(v_gb, tech: Technology):
+    """Voltage dropped across the oxide, ``V_ox = V_gb - V_fb - psi_s`` [V]."""
+    psi = surface_potential(v_gb, tech)
+    return np.asarray(v_gb, dtype=float) - tech.v_fb - psi \
+        if np.ndim(v_gb) else float(v_gb - tech.v_fb - psi)
+
+
+def trap_energy_offset(v_gs, trap: Trap, tech: Technology):
+    """Return ``(E_T - E_F)`` [eV] at gate-source bias ``v_gs``.
+
+    The source is taken at bulk potential (the SRAM bias extractor maps
+    each transistor's real terminal voltages onto an effective ``v_gs``
+    before calling this), so ``v_gb = v_gs``.
+    """
+    if trap.y_tr > tech.t_ox:
+        raise ModelError(
+            f"trap depth {trap.y_tr:g} m exceeds oxide thickness "
+            f"{tech.t_ox:g} m"
+        )
+    v_gs_arr = np.asarray(v_gs, dtype=float)
+    psi = surface_potential(v_gs_arr, tech)
+    v_ox = v_gs_arr - tech.v_fb - psi
+    offset = trap.e_tr - psi - (trap.y_tr / tech.t_ox) * v_ox
+    return offset if np.ndim(v_gs) else float(offset)
+
+
+def crossing_energy(v_gs, y_tr: float, tech: Technology):
+    """Return the trap energy ``E_tr`` [eV] that sits exactly at the
+    Fermi level (``E_T - E_F = 0``) for depth ``y_tr`` at bias ``v_gs``.
+
+    The statistical trap profiler samples energies around this value so
+    that every generated trap is *active* (toggling) somewhere inside
+    the bias swing — the paper's "5-10 active traps".
+    """
+    if y_tr <= 0.0 or y_tr > tech.t_ox:
+        raise ModelError(
+            f"trap depth must lie in (0, t_ox], got {y_tr:g} m "
+            f"for t_ox {tech.t_ox:g} m"
+        )
+    v_gs_arr = np.asarray(v_gs, dtype=float)
+    psi = surface_potential(v_gs_arr, tech)
+    v_ox = v_gs_arr - tech.v_fb - psi
+    energy = psi + (y_tr / tech.t_ox) * v_ox
+    return energy if np.ndim(v_gs) else float(energy)

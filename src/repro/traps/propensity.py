@@ -1,0 +1,143 @@
+"""Paper Eqs. (1)-(2): trap propensities from bias.
+
+- Eq. (1): ``lambda_c(t) + lambda_e(t) = 1 / (tau0 * exp(gamma * y_tr))``
+  — a *constant* sum, set by the trap depth alone.  This is what makes
+  the propensity sum itself the exact uniformisation bound in paper
+  Algorithm 1 (its line 3).
+- Eq. (2): ``beta(t) = lambda_e/lambda_c = g * exp((E_T - E_F)|_t / kT)``
+  — the bias-dependent ratio, via :mod:`repro.traps.band`.
+
+Solving the two for the individual rates:
+
+``lambda_c = S * sigmoid(-ln beta)``, ``lambda_e = S * sigmoid(+ln beta)``
+
+which is numerically safe for arbitrarily large ``|E_T - E_F|/kT``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import expit
+
+from ..constants import thermal_energy_ev
+from ..devices.technology import Technology
+from ..errors import ModelError
+from ..markov.propensity import SampledTwoStatePropensity
+from .band import trap_energy_offset
+from .trap import Trap
+
+
+def propensity_sum(trap: Trap, tech: Technology) -> float:
+    """Return ``lambda_c + lambda_e = 1/(tau0 e^{gamma y_tr})`` [1/s] (Eq. 1)."""
+    if trap.y_tr > tech.t_ox:
+        raise ModelError(
+            f"trap depth {trap.y_tr:g} m exceeds oxide thickness "
+            f"{tech.t_ox:g} m"
+        )
+    return 1.0 / (tech.tau0 * math.exp(tech.gamma_tunnel * trap.y_tr))
+
+
+def log_beta_from_bias(v_gs, trap: Trap, tech: Technology):
+    """Return ``ln beta = ln g + (E_T - E_F)/kT`` at bias ``v_gs`` (Eq. 2)."""
+    kt_ev = thermal_energy_ev(tech.temperature)
+    offset = trap_energy_offset(v_gs, trap, tech)
+    result = math.log(trap.degeneracy) + np.asarray(offset) / kt_ev
+    return result if np.ndim(v_gs) else float(result)
+
+
+def rates_from_bias(v_gs, trap: Trap, tech: Technology):
+    """Return ``(lambda_c, lambda_e)`` [1/s] at bias ``v_gs`` (Eqs. 1-2).
+
+    Vectorised over ``v_gs``; the two arrays always sum to
+    :func:`propensity_sum` exactly (up to rounding), for any bias.
+    """
+    total = propensity_sum(trap, tech)
+    log_beta = np.asarray(log_beta_from_bias(v_gs, trap, tech))
+    lambda_c = total * expit(-log_beta)
+    lambda_e = total * expit(log_beta)
+    if np.ndim(v_gs):
+        return lambda_c, lambda_e
+    return float(lambda_c), float(lambda_e)
+
+
+def equilibrium_occupancy(v_gs, trap: Trap, tech: Technology):
+    """Return the would-be stationary filled probability ``1/(1+beta)``.
+
+    This is the occupancy the trap relaxes towards if the bias were
+    frozen at ``v_gs`` — used to draw physically sensible initial trap
+    states.
+    """
+    log_beta = np.asarray(log_beta_from_bias(v_gs, trap, tech))
+    result = expit(-log_beta)
+    return result if np.ndim(v_gs) else float(result)
+
+
+def rates_for_population(v_gs: float, traps: list, tech: Technology
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Rates of a whole trap population at one shared bias point.
+
+    All traps of a transistor see the same gate drive, so the
+    surface-potential solve (the expensive part) is done once and the
+    per-trap energy offsets are vectorised.  Returns
+    ``(lambda_c, lambda_e)`` arrays over the population — identical to
+    calling :func:`rates_from_bias` per trap.  This is the fast path of
+    the per-step coupled co-simulation.
+    """
+    from .band import surface_potential
+
+    if not traps:
+        return np.zeros(0), np.zeros(0)
+    kt_ev = thermal_energy_ev(tech.temperature)
+    psi = surface_potential(v_gs, tech)
+    v_ox = v_gs - tech.v_fb - psi
+    y = np.array([trap.y_tr for trap in traps])
+    if np.any(y > tech.t_ox):
+        raise ModelError("trap depth exceeds oxide thickness")
+    e_tr = np.array([trap.e_tr for trap in traps])
+    degeneracy = np.array([trap.degeneracy for trap in traps])
+    offset = e_tr - psi - (y / tech.t_ox) * v_ox
+    log_beta = np.log(degeneracy) + offset / kt_ev
+    totals = 1.0 / (tech.tau0 * np.exp(tech.gamma_tunnel * y))
+    return totals * expit(-log_beta), totals * expit(log_beta)
+
+
+def equilibrium_occupancy_population(v_gs: float, traps: list,
+                                     tech: Technology) -> np.ndarray:
+    """Equilibrium filled probabilities of a whole population at one bias.
+
+    Vectorised companion of :func:`equilibrium_occupancy` (one
+    surface-potential solve for the population).
+    """
+    lam_c, lam_e = rates_for_population(v_gs, traps, tech)
+    if lam_c.size == 0:
+        return lam_c
+    return lam_c / (lam_c + lam_e)
+
+
+def trap_propensity(trap: Trap, tech: Technology, times: np.ndarray,
+                    v_gs: np.ndarray) -> SampledTwoStatePropensity:
+    """Build the kernel-ready propensity of a trap under a bias waveform.
+
+    Parameters
+    ----------
+    trap, tech:
+        The trap and its host technology.
+    times:
+        Strictly increasing sample times [s] of the bias waveform.
+    v_gs:
+        Gate-source bias samples [V], same length as ``times``.
+
+    Returns
+    -------
+    SampledTwoStatePropensity
+        Linear interpolation between the sampled rates.  Its
+        ``rate_bound()`` is the sample peak, which for these rates can
+        never exceed the exact Eq.-(1) sum — so uniformisation runs at
+        the paper's tight ``lambda*``.
+    """
+    v_gs = np.asarray(v_gs, dtype=float)
+    lambda_c, lambda_e = rates_from_bias(v_gs, trap, tech)
+    return SampledTwoStatePropensity(
+        np.asarray(times, dtype=float), lambda_c, lambda_e)

@@ -1,0 +1,97 @@
+"""Engineering-notation helpers for values, in the SPICE tradition.
+
+SPICE decks write ``2u`` for 2e-6 and ``10MEG`` for 1e7; this module
+provides :func:`parse_value` to read such strings and :func:`format_si`
+to render floats back with an SI suffix for reports and netlists.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import NetlistError
+
+#: SPICE suffixes, longest first so that ``MEG`` wins over ``M``.
+_SPICE_SUFFIXES: tuple[tuple[str, float], ...] = (
+    ("MEG", 1e6),
+    ("MIL", 25.4e-6),
+    ("T", 1e12),
+    ("G", 1e9),
+    ("K", 1e3),
+    ("M", 1e-3),
+    ("U", 1e-6),
+    ("N", 1e-9),
+    ("P", 1e-12),
+    ("F", 1e-15),
+    ("A", 1e-18),
+)
+
+#: SI prefixes for formatting, exponent -> symbol.
+_SI_PREFIXES: dict[int, str] = {
+    -18: "a", -15: "f", -12: "p", -9: "n", -6: "u", -3: "m",
+    0: "", 3: "k", 6: "M", 9: "G", 12: "T",
+}
+
+
+def parse_value(text: str) -> float:
+    """Parse a SPICE-style value such as ``"2u"``, ``"10MEG"`` or ``"1.5e-9"``.
+
+    Suffix matching is case-insensitive, and trailing unit garbage after a
+    recognised suffix is ignored (``"2uF"`` parses as 2e-6, like SPICE).
+
+    Raises
+    ------
+    NetlistError
+        If the text does not begin with a parseable number.
+    """
+    text = text.strip()
+    if not text:
+        raise NetlistError("empty value string")
+    upper = text.upper()
+    # Find the longest numeric prefix.
+    end = len(upper)
+    for i, ch in enumerate(upper):
+        if ch.isalpha() and not _is_exponent_char(upper, i):
+            end = i
+            break
+    number_part = upper[:end]
+    suffix_part = upper[end:]
+    try:
+        value = float(number_part)
+    except ValueError as exc:
+        raise NetlistError(f"cannot parse value {text!r}") from exc
+    if not suffix_part:
+        return value
+    for suffix, scale in _SPICE_SUFFIXES:
+        if suffix_part.startswith(suffix):
+            return value * scale
+    # Unknown alpha tail (e.g. plain unit like "V") is ignored, as in SPICE.
+    return value
+
+
+def _is_exponent_char(text: str, index: int) -> bool:
+    """Return True when text[index] is the ``E`` of a float exponent."""
+    if text[index] != "E":
+        return False
+    if index == 0 or not (text[index - 1].isdigit() or text[index - 1] == "."):
+        return False
+    rest = text[index + 1:index + 2]
+    return rest.isdigit() or rest in {"+", "-"}
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a value with an SI prefix, e.g. ``format_si(2e-6, "A")`` -> ``"2uA"``.
+
+    Values of exactly zero format as ``"0<unit>"``; non-finite values pass
+    through :func:`repr`-style formatting.
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    exponent = max(-18, min(12, exponent))
+    scaled = value / 10.0 ** exponent
+    prefix = _SI_PREFIXES[exponent]
+    text = f"{scaled:.{digits}g}"
+    return f"{text}{prefix}{unit}"

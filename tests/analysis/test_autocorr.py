@@ -1,0 +1,80 @@
+"""Tests for autocorrelation estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.autocorr import autocorrelation, autocovariance
+from repro.errors import AnalysisError
+from repro.markov.analytic import stationary_autocorrelation
+from repro.markov.gillespie import simulate_constant
+
+
+class TestInterface:
+    def test_rejects_short_trace(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation(np.zeros(3), 1.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation(np.zeros(100), 0.0)
+
+    def test_rejects_bad_max_lag(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation(np.zeros(100), 1.0, max_lag=100)
+        with pytest.raises(AnalysisError):
+            autocorrelation(np.zeros(100), 1.0, max_lag=0)
+
+    def test_lag_grid(self):
+        lags, r = autocorrelation(np.random.default_rng(0).normal(size=64),
+                                  dt=0.5, max_lag=10)
+        assert lags.tolist() == [0.5 * k for k in range(11)]
+        assert r.shape == (11,)
+
+
+class TestKnownSignals:
+    def test_constant_signal(self):
+        """R(tau) of a constant c is c^2 at every lag (biased taper aside)."""
+        x = np.full(1000, 3.0)
+        lags, r = autocorrelation(x, 1.0, max_lag=10)
+        # Biased estimator: R[k] = c^2 (N-k)/N.
+        expected = 9.0 * (1000 - np.arange(11)) / 1000
+        assert np.allclose(r, expected)
+
+    def test_white_noise_decorrelates(self):
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=200_000)
+        lags, r = autocorrelation(x, 1.0, max_lag=20)
+        assert r[0] == pytest.approx(1.0, abs=0.02)
+        assert np.max(np.abs(r[1:])) < 0.02
+
+    def test_autocovariance_removes_mean(self):
+        rng = np.random.default_rng(1)
+        x = 5.0 + rng.normal(size=50_000)
+        __, c = autocovariance(x, 1.0, max_lag=10)
+        assert c[0] == pytest.approx(1.0, abs=0.05)
+        assert abs(c[5]) < 0.05
+
+    def test_cosine_signal(self):
+        """R of cos(w t) is 0.5 cos(w tau)."""
+        dt = 0.01
+        t = np.arange(100_000) * dt
+        x = np.cos(2 * np.pi * 5.0 * t)
+        lags, r = autocorrelation(x, dt, max_lag=50)
+        expected = 0.5 * np.cos(2 * np.pi * 5.0 * lags)
+        assert np.max(np.abs(r - expected)) < 0.01
+
+
+class TestAgainstAnalyticRtn:
+    def test_matches_paper_closed_form(self, rng):
+        """The Fig. 7(a)-(c) check as a unit test: the estimated R(tau)
+        of a stationary telegraph trace matches the closed form."""
+        lam_c, lam_e, delta_i = 400.0, 200.0, 1.0
+        trace = simulate_constant(lam_c, lam_e, 0.0, 100.0, rng)
+        dt = 1e-4
+        grid = np.arange(0.0, 100.0, dt)
+        samples = delta_i * trace.sample(grid).astype(float)
+        lags, r_est = autocorrelation(samples, dt, max_lag=200)
+        r_true = stationary_autocorrelation(lags, lam_c, lam_e, delta_i)
+        assert np.max(np.abs(r_est - r_true)) < 0.05 * r_true[0]

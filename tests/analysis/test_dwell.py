@@ -1,0 +1,59 @@
+"""Tests for dwell-time statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.dwell import (
+    exponentiality_pvalue,
+    summarise_dwells,
+)
+from repro.errors import AnalysisError
+from repro.markov.gillespie import simulate_constant
+from repro.markov.occupancy import OccupancyTrace
+
+
+class TestExponentialityPvalue:
+    def test_accepts_exponential_sample(self, rng):
+        dwells = rng.exponential(scale=2.0, size=5000)
+        assert exponentiality_pvalue(dwells) > 0.01
+
+    def test_rejects_uniform_sample(self, rng):
+        dwells = rng.uniform(1.0, 2.0, size=5000)
+        assert exponentiality_pvalue(dwells) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            exponentiality_pvalue(np.ones(3))
+        with pytest.raises(AnalysisError):
+            exponentiality_pvalue(np.array([1.0] * 7 + [-1.0]))
+
+
+class TestSummarise:
+    def test_matches_known_rates(self, rng):
+        lam_c, lam_e = 150.0, 50.0
+        trace = simulate_constant(lam_c, lam_e, 0.0, 200.0, rng)
+        low = summarise_dwells(trace, 0)
+        high = summarise_dwells(trace, 1)
+        assert low.implied_rate == pytest.approx(lam_c, rel=0.1)
+        assert high.implied_rate == pytest.approx(lam_e, rel=0.1)
+        assert low.ks_pvalue > 1e-3
+        assert high.ks_pvalue > 1e-3
+        assert low.count > 1000
+
+    def test_empty_state(self):
+        trace = OccupancyTrace.constant(0.0, 1.0, 0)
+        summary = summarise_dwells(trace, 1)
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.implied_rate)
+
+    def test_few_dwells_nan_pvalue(self):
+        trace = OccupancyTrace.from_transitions(
+            0.0, 10.0, 0, np.array([1.0, 2.0, 3.0]))
+        summary = summarise_dwells(trace, 1)
+        assert summary.count == 1
+        assert math.isnan(summary.ks_pvalue)

@@ -1,0 +1,91 @@
+"""Tests for the Lorentzian and 1/f spectral fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    fit_lorentzian,
+    fit_one_over_f,
+    log_rms_error,
+)
+from repro.errors import AnalysisError
+from repro.markov.analytic import lorentzian_psd, superposed_lorentzian_psd
+
+
+class TestLogRmsError:
+    def test_zero_for_identical(self):
+        s = np.array([1.0, 2.0, 3.0])
+        assert log_rms_error(s, s) == 0.0
+
+    def test_decade_offset(self):
+        s = np.array([1.0, 1.0])
+        assert log_rms_error(s, 10 * s) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            log_rms_error(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(AnalysisError):
+            log_rms_error(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+
+
+class TestOneOverFFit:
+    def test_recovers_exact_one_over_f(self):
+        f = np.logspace(0, 4, 50)
+        s = 3e-12 / f
+        fit = fit_one_over_f(f, s)
+        assert fit.parameters["amplitude"] == pytest.approx(3e-12, rel=1e-6)
+        assert fit.log_rms < 1e-9
+
+    def test_poor_fit_for_single_lorentzian(self):
+        """A lone Lorentzian is NOT 1/f: plateau then 1/f^2."""
+        f = np.logspace(0, 5, 60)
+        s = lorentzian_psd(f, 500.0, 500.0, 1e-6)
+        fit = fit_one_over_f(f, s)
+        assert fit.log_rms > 0.4
+
+    def test_good_fit_for_many_decade_spread_lorentzians(self):
+        """Superposed Lorentzians with log-uniform corners -> 1/f."""
+        rng = np.random.default_rng(3)
+        rates = 10.0 ** rng.uniform(0.0, 7.0, size=400)
+        f = np.logspace(1.0, 5.0, 60)
+        s = superposed_lorentzian_psd(
+            f, rates / 2, rates / 2, np.full(rates.size, 1e-9))
+        fit = fit_one_over_f(f, s)
+        assert fit.log_rms < 0.15
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            fit_one_over_f(np.array([0.0, 1.0, 2.0, 3.0]), np.ones(4))
+        with pytest.raises(AnalysisError):
+            fit_one_over_f(np.ones(3), np.ones(3))
+
+
+class TestLorentzianFit:
+    def test_recovers_parameters(self):
+        f = np.logspace(0, 5, 80)
+        lam_c, lam_e, d_i = 300.0, 700.0, 1e-6
+        s = lorentzian_psd(f, lam_c, lam_e, d_i)
+        fit = fit_lorentzian(f, s)
+        total = lam_c + lam_e
+        assert fit.parameters["corner"] == pytest.approx(
+            total / (2 * np.pi), rel=0.01)
+        assert fit.parameters["plateau"] == pytest.approx(
+            lorentzian_psd(0.0, lam_c, lam_e, d_i), rel=0.01)
+        assert fit.log_rms < 1e-4
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(11)
+        f = np.logspace(0, 5, 80)
+        s = lorentzian_psd(f, 500.0, 500.0, 1e-6)
+        noisy = s * 10 ** rng.normal(0.0, 0.1, size=s.size)
+        fit = fit_lorentzian(f, noisy)
+        assert fit.parameters["corner"] == pytest.approx(
+            1000.0 / (2 * np.pi), rel=0.3)
+
+    def test_model_matches_shape(self):
+        f = np.logspace(0, 4, 40)
+        s = lorentzian_psd(f, 100.0, 100.0, 1.0)
+        fit = fit_lorentzian(f, s)
+        assert fit.model.shape == f.shape

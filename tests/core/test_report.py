@@ -1,0 +1,64 @@
+"""Tests for the report helpers."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.report import format_table, sparkline, write_csv
+from repro.errors import AnalysisError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+        assert "2.5" in lines[3]
+        assert "-" in lines[4]  # None renders as dash
+
+    def test_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_headers(self):
+        with pytest.raises(AnalysisError):
+            format_table([], [])
+
+    def test_float_formats(self):
+        text = format_table(["v"], [[1.23456789e-12], [12345.6], [0.0],
+                                    [True]])
+        assert "1.235e-12" in text
+        assert "0" in text
+        assert "yes" in text
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "sub", "out.csv")
+        written = write_csv(path, ["x", "y"], [[1, 2], [3, 4]])
+        assert written == path
+        with open(path) as handle:
+            content = handle.read()
+        assert content.splitlines() == ["x,y", "1,2", "3,4"]
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        line = sparkline(range(1000), width=20)
+        assert len(line) == 20

@@ -1,0 +1,67 @@
+"""Tests for thermal noise and carrier-density helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import K_BOLTZMANN, Q_ELECTRON
+from repro.devices.mosfet import MosfetParams
+from repro.devices.noise import (
+    N_DENSITY_FLOOR,
+    carrier_number_density,
+    thermal_noise_psd,
+)
+from repro.devices.technology import TECH_90NM
+from repro.errors import ModelError
+
+NMOS = MosfetParams.nominal(TECH_90NM, "n")
+
+
+class TestThermalNoise:
+    def test_formula(self):
+        gm = 1e-3
+        expected = (8.0 / 3.0) * K_BOLTZMANN * 300.0 * gm
+        assert thermal_noise_psd(gm, 300.0) == pytest.approx(expected)
+
+    def test_scales_with_temperature(self):
+        assert thermal_noise_psd(1e-3, 600.0) == \
+            pytest.approx(2 * thermal_noise_psd(1e-3, 300.0))
+
+    def test_vectorised(self):
+        gm = np.array([1e-4, 1e-3])
+        psd = thermal_noise_psd(gm)
+        assert psd.shape == (2,)
+        assert psd[1] == pytest.approx(10 * psd[0])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            thermal_noise_psd(1e-3, temperature=0.0)
+        with pytest.raises(ModelError):
+            thermal_noise_psd(-1.0)
+
+    def test_typical_magnitude(self):
+        """~1e-24 A^2/Hz at gm ~ 100 uS: the Fig. 7 floor ballpark."""
+        psd = thermal_noise_psd(1e-4)
+        assert 1e-26 < psd < 1e-22
+
+
+class TestCarrierDensity:
+    def test_strong_inversion_value(self):
+        v_gs = 1.0
+        n = carrier_number_density(NMOS, v_gs)
+        expected = TECH_90NM.c_ox * (v_gs - NMOS.vt0) / Q_ELECTRON
+        assert n == pytest.approx(expected, rel=0.1)
+
+    def test_carriers_per_device_order(self):
+        """A 90 nm minimal device holds ~1e3 carriers when on."""
+        carriers = carrier_number_density(NMOS, 1.0) * NMOS.area
+        assert 100 < carriers < 1e4
+
+    def test_floor_in_deep_off(self):
+        assert carrier_number_density(NMOS, -5.0) == N_DENSITY_FLOOR
+
+    def test_monotone_in_bias(self):
+        vgs = np.linspace(0.2, 1.0, 30)
+        n = carrier_number_density(NMOS, vgs)
+        assert np.all(np.diff(n) > 0.0)

@@ -1,0 +1,76 @@
+"""Tests for technology cards."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.constants import EPS_SIO2
+from repro.devices.technology import (
+    TECH_22NM,
+    TECH_45NM,
+    TECH_90NM,
+    TECH_180NM,
+    TECHNOLOGIES,
+    get_technology,
+)
+from repro.errors import ModelError
+
+ALL_CARDS = (TECH_180NM, TECH_90NM, TECH_45NM, TECH_22NM)
+
+
+class TestCards:
+    def test_registry_contains_all(self):
+        assert set(TECHNOLOGIES) == {"180nm", "90nm", "45nm", "22nm"}
+
+    def test_lookup(self):
+        assert get_technology("90nm") is TECH_90NM
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ModelError, match="unknown technology"):
+            get_technology("7nm")
+
+    def test_cox_from_tox(self):
+        assert TECH_90NM.c_ox == pytest.approx(EPS_SIO2 / 2.0e-9)
+
+    def test_scaling_trends(self):
+        """Physical monotonicity across the node sequence."""
+        for older, newer in zip(ALL_CARDS, ALL_CARDS[1:]):
+            assert newer.node < older.node
+            assert newer.t_ox < older.t_ox
+            assert newer.vdd <= older.vdd
+            assert newer.mobility_n < older.mobility_n
+            assert newer.w_nominal_n < older.w_nominal_n
+
+    def test_phi_f_positive(self):
+        for card in ALL_CARDS:
+            assert 0.3 < card.phi_f < 0.6
+
+    def test_trap_count_scaling(self):
+        """Old node: hundreds of traps; newest node: a handful (paper §I-B)."""
+        old = TECH_180NM.expected_trap_count(
+            TECH_180NM.w_nominal_n, TECH_180NM.node)
+        new = TECH_22NM.expected_trap_count(
+            TECH_22NM.w_nominal_n, TECH_22NM.node)
+        assert old > 500
+        assert new < 10
+        assert old / new > 100
+
+    def test_expected_trap_count_validation(self):
+        with pytest.raises(ModelError):
+            TECH_90NM.expected_trap_count(0.0, 1e-7)
+
+
+class TestValidation:
+    def test_rejects_non_positive_field(self):
+        with pytest.raises(ModelError):
+            dataclasses.replace(TECH_90NM, t_ox=0.0)
+
+    def test_rejects_bad_slope(self):
+        with pytest.raises(ModelError):
+            dataclasses.replace(TECH_90NM, slope_factor=1.0)
+
+    def test_rejects_vt_above_vdd(self):
+        with pytest.raises(ModelError):
+            dataclasses.replace(TECH_90NM, vt0_n=1.5)

@@ -1,0 +1,137 @@
+"""Tests for the DRAM VRT extension (paper future-work #4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.technology import TECH_90NM
+from repro.dram.cell import (
+    DramCellSpec,
+    retention_distribution,
+    simulate_retention,
+    vrt_levels,
+)
+from repro.errors import SimulationError
+from repro.traps.band import crossing_energy
+from repro.traps.propensity import rates_from_bias
+from repro.traps.trap import Trap
+
+
+def slow_defect(spec: DramCellSpec) -> Trap:
+    """A defect toggling a few times per retention window."""
+    slow, __ = vrt_levels(spec)
+    target_rate = 1.0 / (3.0 * slow)
+    tech = spec.technology
+    y = np.log(1.0 / (tech.tau0 * 2.0 * target_rate)) / tech.gamma_tunnel
+    y = min(y, 0.95 * tech.t_ox)
+    return Trap(y_tr=y, e_tr=crossing_energy(0.0, y, tech))
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DramCellSpec(storage_capacitance=0.0)
+        with pytest.raises(SimulationError):
+            DramCellSpec(leakage_factor=0.5)
+
+    def test_defaults(self):
+        spec = DramCellSpec()
+        assert spec.stored_level == pytest.approx(0.8 * TECH_90NM.vdd)
+        assert spec.threshold == pytest.approx(0.5 * spec.stored_level)
+
+
+class TestVrtLevels:
+    def test_factor_sets_ratio(self):
+        spec = DramCellSpec(leakage_factor=3.0)
+        slow, fast = vrt_levels(spec)
+        assert slow > fast > 0.0
+        assert slow / fast == pytest.approx(3.0, rel=0.05)
+
+    def test_unity_factor_degenerate(self):
+        slow, fast = vrt_levels(DramCellSpec(leakage_factor=1.0))
+        assert slow == pytest.approx(fast)
+
+    def test_bigger_capacitor_retains_longer(self):
+        small, __ = vrt_levels(DramCellSpec(storage_capacitance=10e-15))
+        large, __ = vrt_levels(DramCellSpec(storage_capacitance=50e-15))
+        assert large > 4 * small
+
+
+class TestRetentionTrial:
+    def test_interface(self, rng):
+        spec = DramCellSpec()
+        trap = slow_defect(spec)
+        with pytest.raises(SimulationError):
+            simulate_retention(spec, trap, rng, t_max=0.0)
+
+    def test_decay_is_monotone(self, rng):
+        spec = DramCellSpec()
+        trap = slow_defect(spec)
+        slow, __ = vrt_levels(spec)
+        result = simulate_retention(spec, trap, rng, t_max=2 * slow)
+        assert np.all(np.diff(result.voltage) <= 1e-12)
+        assert result.voltage[0] == pytest.approx(spec.stored_level)
+
+    def test_pinned_states_bracket_retention(self, rng):
+        spec = DramCellSpec()
+        trap = slow_defect(spec)
+        slow, fast = vrt_levels(spec)
+        result = simulate_retention(spec, trap, rng, t_max=2 * slow)
+        assert fast * 0.95 <= result.retention_time <= slow * 1.05
+
+    def test_survives_when_window_short(self, rng):
+        spec = DramCellSpec()
+        trap = slow_defect(spec)
+        __, fast = vrt_levels(spec)
+        result = simulate_retention(spec, trap, rng, t_max=0.1 * fast)
+        assert result.retention_time == float("inf")
+
+    def test_frozen_states_hit_the_levels(self, rng_factory):
+        """With the defect pinned (enormous asymmetry), each trial sits
+        on its frozen-state retention level."""
+        spec = DramCellSpec()
+        tech = spec.technology
+        slow, fast = vrt_levels(spec)
+        y = slow_defect(spec).y_tr
+        always_empty = Trap(y_tr=y,
+                            e_tr=crossing_energy(0.0, y, tech) + 0.4)
+        always_filled = Trap(y_tr=y,
+                             e_tr=crossing_energy(0.0, y, tech) - 0.4)
+        r_empty = simulate_retention(spec, always_empty, rng_factory(1),
+                                     t_max=2 * slow)
+        r_filled = simulate_retention(spec, always_filled, rng_factory(2),
+                                      t_max=2 * slow)
+        assert r_empty.retention_time == pytest.approx(slow, rel=0.02)
+        assert r_filled.retention_time == pytest.approx(fast, rel=0.02)
+
+
+class TestVrtDistribution:
+    def test_bimodal_signature(self, rng):
+        """The VRT claim: repeated measurements of one cell cluster at
+        two discrete retention levels."""
+        spec = DramCellSpec(leakage_factor=3.0)
+        trap = slow_defect(spec)
+        slow, fast = vrt_levels(spec)
+        times = retention_distribution(spec, trap, rng, 30,
+                                       t_max=3 * slow)
+        assert np.all(np.isfinite(times))
+        near_fast = np.abs(times - fast) < 0.1 * fast
+        near_slow = np.abs(times - slow) < 0.1 * slow
+        # Both levels visited, and most trials sit *on* a level.
+        assert near_fast.sum() >= 5
+        assert near_slow.sum() >= 5
+        assert (near_fast | near_slow).mean() > 0.5
+
+    def test_no_defect_modulation_no_vrt(self, rng):
+        """leakage_factor = 1: the distribution collapses to one value."""
+        spec = DramCellSpec(leakage_factor=1.0)
+        trap = slow_defect(DramCellSpec())
+        slow, __ = vrt_levels(spec)
+        times = retention_distribution(spec, trap, rng, 10, t_max=2 * slow)
+        assert np.ptp(times) < 1e-3 * times.mean()
+
+    def test_validation(self, rng):
+        with pytest.raises(SimulationError):
+            retention_distribution(DramCellSpec(), slow_defect(
+                DramCellSpec()), rng, 0)

@@ -1,0 +1,115 @@
+"""Tests for the general N-state CTMC extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.markov.ctmc import (
+    CtmcPath,
+    simulate_ctmc,
+    two_state_generator,
+    validate_generator,
+)
+
+
+class TestGeneratorValidation:
+    def test_accepts_valid(self):
+        validate_generator(two_state_generator(3.0, 5.0))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError):
+            validate_generator(np.zeros((2, 3)))
+
+    def test_rejects_negative_off_diagonal(self):
+        q = np.array([[-1.0, 1.0], [-2.0, 2.0]])
+        with pytest.raises(ModelError):
+            validate_generator(q)
+
+    def test_rejects_nonzero_rows(self):
+        q = np.array([[-1.0, 2.0], [1.0, -1.0]])
+        with pytest.raises(ModelError):
+            validate_generator(q)
+
+    def test_two_state_generator_rejects_negative(self):
+        with pytest.raises(ModelError):
+            two_state_generator(-1.0, 1.0)
+
+
+class TestCtmcPath:
+    def test_construction_and_queries(self):
+        path = CtmcPath(times=np.array([0.0, 1.0, 2.0]),
+                        states=np.array([0, 2]), n_states=3)
+        assert path.state_at(0.5) == 0
+        assert path.state_at(1.5) == 2
+        fractions = path.occupancy_fractions()
+        assert fractions.tolist() == [0.5, 0.0, 0.5]
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(ModelError):
+            CtmcPath(times=np.array([0.0, 1.0]), states=np.array([5]),
+                     n_states=3)
+
+    def test_rejects_repeats(self):
+        with pytest.raises(ModelError):
+            CtmcPath(times=np.array([0.0, 1.0, 2.0]), states=np.array([1, 1]),
+                     n_states=3)
+
+    def test_query_outside_window(self):
+        path = CtmcPath(times=np.array([0.0, 1.0]), states=np.array([0]),
+                        n_states=2)
+        with pytest.raises(ModelError):
+            path.state_at(2.0)
+
+
+class TestSimulation:
+    def test_interface_validation(self, rng):
+        gen = lambda t: two_state_generator(1.0, 1.0)
+        with pytest.raises(SimulationError):
+            simulate_ctmc(gen, 2, 1.0, 1.0, rng, 0, 10.0)
+        with pytest.raises(SimulationError):
+            simulate_ctmc(gen, 2, 0.0, 1.0, rng, 5, 10.0)
+        with pytest.raises(SimulationError):
+            simulate_ctmc(gen, 2, 0.0, 1.0, rng, 0, -1.0)
+
+    def test_bound_violation_detected(self, rng):
+        gen = lambda t: two_state_generator(100.0, 100.0)
+        with pytest.raises(SimulationError):
+            simulate_ctmc(gen, 2, 0.0, 10.0, rng, 0, rate_bound=1.0)
+
+    def test_two_state_matches_occupancy(self, rng):
+        lam_c, lam_e = 60.0, 20.0
+        gen = lambda t: two_state_generator(lam_c, lam_e)
+        path = simulate_ctmc(gen, 2, 0.0, 200.0, rng, 0,
+                             rate_bound=lam_c + lam_e)
+        fractions = path.occupancy_fractions()
+        assert fractions[1] == pytest.approx(lam_c / (lam_c + lam_e), abs=0.03)
+
+    def test_three_state_ring_uniform_occupancy(self, rng):
+        """A symmetric 3-ring must occupy each state 1/3 of the time."""
+        rate = 50.0
+        q = np.array([
+            [-2 * rate, rate, rate],
+            [rate, -2 * rate, rate],
+            [rate, rate, -2 * rate],
+        ])
+        path = simulate_ctmc(lambda t: q, 3, 0.0, 100.0, rng, 0,
+                             rate_bound=2 * rate)
+        fractions = path.occupancy_fractions()
+        assert np.max(np.abs(fractions - 1.0 / 3.0)) < 0.04
+
+    def test_time_varying_generator(self, rng):
+        """Occupancy follows a switched two-state generator."""
+        def gen(t):
+            if t < 1.0:
+                return two_state_generator(90.0, 10.0)
+            return two_state_generator(10.0, 90.0)
+
+        path = simulate_ctmc(gen, 2, 0.0, 2.0, rng, 0, rate_bound=100.0)
+        grid_early = np.linspace(0.5, 0.99, 50)
+        grid_late = np.linspace(1.5, 1.99, 50)
+        early = np.mean([path.state_at(t) for t in grid_early])
+        late = np.mean([path.state_at(t) for t in grid_late])
+        assert early > 0.6
+        assert late < 0.4

@@ -1,0 +1,65 @@
+"""Tests for the stationary Gillespie SSA kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import SimulationError
+from repro.markov.analytic import stationary_occupancy
+from repro.markov.gillespie import simulate_constant, sojourn_mean
+
+
+class TestInterface:
+    def test_rejects_negative_rates(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_constant(-1.0, 1.0, 0.0, 1.0, rng)
+
+    def test_rejects_bad_window(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_constant(1.0, 1.0, 1.0, 1.0, rng)
+
+    def test_rejects_bad_initial_state(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_constant(1.0, 1.0, 0.0, 1.0, rng, initial_state=-1)
+
+    def test_absorbing_state_zero_rate(self, rng):
+        # lambda_e == 0: once filled, the trap never empties.
+        trace = simulate_constant(50.0, 0.0, 0.0, 10.0, rng, initial_state=0)
+        assert trace.final_state == 1
+        assert trace.n_transitions <= 1
+
+    def test_absorbing_from_start(self, rng):
+        trace = simulate_constant(0.0, 5.0, 0.0, 10.0, rng, initial_state=0)
+        assert trace.n_transitions == 0
+        assert trace.fraction_filled() == 0.0
+
+
+class TestStatistics:
+    def test_occupancy(self, rng):
+        lam_c, lam_e = 120.0, 40.0
+        trace = simulate_constant(lam_c, lam_e, 0.0, 300.0, rng)
+        assert trace.fraction_filled() == pytest.approx(
+            stationary_occupancy(lam_c, lam_e), abs=0.02)
+
+    def test_dwell_exponentiality(self, rng):
+        lam_c, lam_e = 90.0, 110.0
+        trace = simulate_constant(lam_c, lam_e, 0.0, 200.0, rng)
+        for state, rate in ((0, lam_c), (1, lam_e)):
+            dwells = trace.dwell_times(state)
+            __, p_value = stats.kstest(dwells, "expon", args=(0, 1.0 / rate))
+            assert p_value > 1e-3
+
+    def test_alternation_structure(self, rng):
+        trace = simulate_constant(40.0, 40.0, 0.0, 50.0, rng)
+        assert np.all(trace.states[1:] != trace.states[:-1])
+
+
+class TestSojournMean:
+    def test_finite(self):
+        assert sojourn_mean(4.0, 2.0, 0) == 0.25
+        assert sojourn_mean(4.0, 2.0, 1) == 0.5
+
+    def test_infinite_for_absorbing(self):
+        assert sojourn_mean(0.0, 2.0, 0) == float("inf")

@@ -1,0 +1,158 @@
+"""Tests for the per-device RTN generator (integration of traps+markov+rtn)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.ekv import saturation_current
+from repro.devices.mosfet import MosfetParams
+from repro.devices.technology import TECH_90NM
+from repro.errors import SimulationError
+from repro.rtn.current import HungModel, VanDerZielModel
+from repro.rtn.generator import generate_constant_bias_rtn, generate_device_rtn
+from repro.traps.band import crossing_energy
+from repro.traps.propensity import propensity_sum, rates_from_bias
+from repro.traps.trap import Trap
+
+NMOS = MosfetParams.nominal(TECH_90NM, "n")
+
+
+def midpoint_trap(v_cross: float = 0.6, y_tr: float = 1.35e-9) -> Trap:
+    """A trap that sits at the Fermi level at bias ``v_cross``."""
+    return Trap(y_tr=y_tr, e_tr=crossing_energy(v_cross, y_tr, TECH_90NM))
+
+
+class TestInterface:
+    def test_rejects_bad_grid(self, rng):
+        with pytest.raises(SimulationError):
+            generate_device_rtn(NMOS, [], np.array([0.0]), np.array([0.0]),
+                                np.array([0.0]), rng)
+
+    def test_rejects_shape_mismatch(self, rng):
+        times = np.linspace(0, 1e-6, 10)
+        with pytest.raises(SimulationError):
+            generate_device_rtn(NMOS, [], times, np.ones(9), np.ones(10), rng)
+
+    def test_rejects_initial_state_mismatch(self, rng):
+        times = np.linspace(0, 1e-6, 10)
+        with pytest.raises(SimulationError):
+            generate_device_rtn(NMOS, [midpoint_trap()], times, np.ones(10),
+                                np.ones(10) * 1e-4, rng, initial_states=[0, 1])
+
+    def test_empty_population_gives_zero_trace(self, rng):
+        times = np.linspace(0, 1e-6, 64)
+        result = generate_device_rtn(NMOS, [], times, np.ones(64),
+                                     np.ones(64) * 1e-4, rng)
+        assert result.trace.peak() == 0.0
+        assert result.total_transitions == 0
+        assert result.n_filled.tolist() == [0.0] * 64
+
+    def test_constant_bias_wrapper_validation(self, rng):
+        with pytest.raises(SimulationError):
+            generate_constant_bias_rtn(NMOS, [], 1.0, 1e-4, -1.0, rng)
+        with pytest.raises(SimulationError):
+            generate_constant_bias_rtn(NMOS, [], 1.0, 1e-4, 1.0, rng,
+                                       n_samples=1)
+
+    def test_labels_propagate(self, rng):
+        result = generate_constant_bias_rtn(NMOS, [], 1.0, 1e-4, 1e-6, rng,
+                                            n_samples=16, label="M2")
+        assert result.trace.label == "M2"
+
+
+class TestStationaryBehaviour:
+    def test_occupancy_matches_equilibrium(self, rng):
+        trap = midpoint_trap(v_cross=0.6)
+        lam_c, lam_e = rates_from_bias(0.6, trap, TECH_90NM)
+        total = propensity_sum(trap, TECH_90NM)
+        t_stop = 3000.0 / total  # thousands of expected transitions
+        result = generate_constant_bias_rtn(NMOS, [trap], 0.6, 1e-4, t_stop,
+                                            rng, n_samples=20000)
+        occ = result.occupancies[0]
+        assert occ.fraction_filled() == pytest.approx(
+            lam_c / (lam_c + lam_e), abs=0.05)
+
+    def test_trace_is_two_level(self, rng):
+        """A single trap at constant bias yields a two-level current."""
+        trap = midpoint_trap()
+        result = generate_constant_bias_rtn(NMOS, [trap], 0.6, 1e-4,
+                                            2000.0 / propensity_sum(trap, TECH_90NM),
+                                            rng, n_samples=8192)
+        levels = np.unique(result.trace.current)
+        assert levels.size == 2
+        assert levels[0] == 0.0
+        assert levels[1] > 0.0
+
+    def test_multi_trap_superposition(self, rng):
+        """N traps at identical amplitude give N+1 current levels."""
+        traps = [midpoint_trap(0.6, 1.35e-9), midpoint_trap(0.6, 1.35e-9)]
+        t_stop = 2000.0 / propensity_sum(traps[0], TECH_90NM)
+        result = generate_constant_bias_rtn(NMOS, traps, 0.6, 1e-4, t_stop,
+                                            rng, n_samples=8192)
+        assert len(result.occupancies) == 2
+        assert np.max(result.n_filled) <= 2.0
+        levels = np.unique(result.trace.current)
+        assert 2 <= levels.size <= 3
+
+    def test_hung_model_amplifies(self, rng_factory):
+        trap = midpoint_trap()
+        t_stop = 500.0 / propensity_sum(trap, TECH_90NM)
+        vdz = generate_constant_bias_rtn(
+            NMOS, [trap], 0.8, 1e-4, t_stop, rng_factory(3),
+            model=VanDerZielModel())
+        hung = generate_constant_bias_rtn(
+            NMOS, [trap], 0.8, 1e-4, t_stop, rng_factory(3),
+            model=HungModel())
+        # Same seed => same occupancy; only the amplitude differs.
+        assert hung.trace.peak() > vdz.trace.peak()
+
+    def test_reproducible(self, rng_factory):
+        trap = midpoint_trap()
+        t_stop = 200.0 / propensity_sum(trap, TECH_90NM)
+        a = generate_constant_bias_rtn(NMOS, [trap], 0.6, 1e-4, t_stop,
+                                       rng_factory(9))
+        b = generate_constant_bias_rtn(NMOS, [trap], 0.6, 1e-4, t_stop,
+                                       rng_factory(9))
+        assert np.array_equal(a.trace.current, b.trace.current)
+
+
+class TestNonStationaryBehaviour:
+    def test_occupancy_follows_gate_waveform(self, rng):
+        """The Fig. 8(b)/(c) effect: trap activity tracks the gate."""
+        trap = midpoint_trap(v_cross=0.5)
+        total = propensity_sum(trap, TECH_90NM)
+        period = 200.0 / total
+        times = np.linspace(0.0, period, 4000)
+        # First half: gate high (trap wants to fill); second half: low.
+        v_gs = np.where(times < period / 2, 1.0, 0.0)
+        i_d = np.abs(saturation_current(NMOS, 1.0)) * np.ones_like(times)
+        result = generate_device_rtn(NMOS, [trap], times, v_gs, i_d, rng)
+        half = times.size // 2
+        filled_high = result.n_filled[:half].mean()
+        filled_low = result.n_filled[half + 200:].mean()
+        assert filled_high > 0.7
+        assert filled_low < 0.3
+
+    def test_rtn_current_gated_by_drain_current(self, rng):
+        """Even a toggling trap produces no noise when I_d = 0 (Eq. 3)."""
+        trap = midpoint_trap(v_cross=1.0)  # toggles at v_gs = 1.0
+        total = propensity_sum(trap, TECH_90NM)
+        times = np.linspace(0.0, 100.0 / total, 2000)
+        v_gs = np.full_like(times, 1.0)
+        i_d = np.zeros_like(times)
+        result = generate_device_rtn(NMOS, [trap], times, v_gs, i_d, rng)
+        assert result.trace.peak() == 0.0
+        assert result.total_transitions > 0  # traps still toggle
+
+    def test_explicit_initial_states(self, rng):
+        trap = midpoint_trap()
+        times = np.linspace(0.0, 1e-9, 8)  # too short for transitions
+        v = np.full(8, 0.6)
+        i = np.full(8, 1e-4)
+        filled = generate_device_rtn(NMOS, [trap], times, v, i, rng,
+                                     initial_states=[1])
+        empty = generate_device_rtn(NMOS, [trap], times, v, i, rng,
+                                    initial_states=[0])
+        assert filled.n_filled[0] == 1.0
+        assert empty.n_filled[0] == 0.0

@@ -1,0 +1,124 @@
+"""Tests for multi-level / anomalous RTN (general CTMC traps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.markov.ctmc import two_state_generator
+from repro.rtn.multilevel import (
+    MultiLevelTrapModel,
+    anomalous_rtn_model,
+    burst_statistics,
+    simulate_multilevel_rtn,
+)
+
+
+def two_state_model(lam_c=100.0, lam_e=50.0, amp=1e-6) -> MultiLevelTrapModel:
+    return MultiLevelTrapModel(
+        generator=two_state_generator(lam_c, lam_e),
+        levels=np.array([0.0, amp]))
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MultiLevelTrapModel(generator=np.array([[1.0]]),
+                                levels=np.array([0.0]))
+        with pytest.raises(ModelError):
+            MultiLevelTrapModel(generator=two_state_generator(1.0, 1.0),
+                                levels=np.array([0.0]))
+
+    def test_stationary_distribution_two_state(self):
+        model = two_state_model(100.0, 50.0)
+        pi = model.stationary_distribution()
+        assert pi[1] == pytest.approx(100.0 / 150.0, abs=1e-9)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_rate_bound_is_max_exit(self):
+        model = two_state_model(100.0, 50.0)
+        assert model.rate_bound() == 100.0
+
+    def test_anomalous_factory_validation(self):
+        with pytest.raises(ModelError):
+            anomalous_rtn_model(0.0, 1.0, 1.0, 1.0, 1e-6)
+
+
+class TestSimulation:
+    def test_interface(self, rng):
+        model = two_state_model()
+        with pytest.raises(SimulationError):
+            simulate_multilevel_rtn(model, 0.0, rng)
+        with pytest.raises(SimulationError):
+            simulate_multilevel_rtn(model, 1.0, rng, n_samples=1)
+
+    def test_two_state_reduces_to_plain_rtn(self, rng):
+        model = two_state_model(200.0, 100.0, amp=2e-6)
+        trace, path = simulate_multilevel_rtn(model, 50.0, rng,
+                                              n_samples=20000)
+        levels = np.unique(trace.current)
+        assert set(levels) <= {0.0, 2e-6}
+        fractions = path.occupancy_fractions()
+        assert fractions[1] == pytest.approx(2.0 / 3.0, abs=0.05)
+
+    def test_anomalous_bursts(self, rng):
+        """Slow mode gating produces many bursts, each containing many
+        fast transitions."""
+        model = anomalous_rtn_model(
+            fast_capture=2000.0, fast_emission=2000.0,
+            activation=20.0, deactivation=20.0, amplitude=1e-6)
+        trace, path = simulate_multilevel_rtn(model, 20.0, rng,
+                                              n_samples=2 ** 16)
+        stats = burst_statistics(path)
+        assert stats["n_bursts"] > 50
+        assert stats["n_quiets"] > 50
+        # Quiet periods ~ 1/activation; bursts host the fast telegraph.
+        assert stats["mean_quiet"] == pytest.approx(1.0 / 20.0, rel=0.4)
+        # Fast transitions dominate the path.
+        assert path.states.size > 10 * stats["n_bursts"]
+
+    def test_anomalous_psd_has_two_corners(self, rng):
+        """The burst envelope adds a low-frequency Lorentzian below the
+        fast telegraph's corner: the PSD falls then plateaus then falls."""
+        from repro.analysis import welch_psd
+        # Envelope corner (act+deact)/2pi ~ 6.4 Hz; fast corner ~637 Hz;
+        # the grid's Nyquist (~2.6 kHz) must sit above the fast corner.
+        model = anomalous_rtn_model(
+            fast_capture=2000.0, fast_emission=2000.0,
+            activation=20.0, deactivation=20.0, amplitude=1.0)
+        t_stop = 100.0
+        n = 2 ** 19
+        trace, __ = simulate_multilevel_rtn(model, t_stop, rng,
+                                            n_samples=n)
+        freq, psd = welch_psd(trace.current, t_stop / (n - 1),
+                              nperseg=16384)
+
+        def band_mean(lo, hi):
+            mask = (freq >= lo) & (freq < hi)
+            return float(np.mean(psd[mask]))
+
+        low = band_mean(0.5, 3.0)          # below the envelope corner
+        mid = band_mean(100.0, 400.0)      # between the two corners
+        high = band_mean(1500.0, 2600.0)   # above the fast corner
+        assert low > 3 * mid
+        assert mid > 3 * high
+
+    def test_reproducible(self, rng_factory):
+        model = two_state_model()
+        a, __ = simulate_multilevel_rtn(model, 10.0, rng_factory(4),
+                                        initial_state=0)
+        b, __ = simulate_multilevel_rtn(model, 10.0, rng_factory(4),
+                                        initial_state=0)
+        assert np.array_equal(a.current, b.current)
+
+
+class TestBurstStatistics:
+    def test_all_active_path(self, rng):
+        model = two_state_model()
+        __, path = simulate_multilevel_rtn(model, 5.0, rng,
+                                           initial_state=1)
+        # With inactive_state=-1 nothing is inactive: one giant burst.
+        stats = burst_statistics(path, inactive_state=-1)
+        assert stats["n_bursts"] == 1
+        assert stats["n_quiets"] == 0

@@ -1,0 +1,113 @@
+"""Tests for the Ye-et-al. white-noise baseline.
+
+The baseline must (a) reproduce the *stationary* statistics it was
+calibrated to, and (b) demonstrably FAIL to track a bias change — the
+paper's stated criticism and our ablation A2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosfetParams
+from repro.devices.technology import TECH_90NM
+from repro.errors import ModelError, SimulationError
+from repro.rtn.ye_baseline import YeBaselineGenerator, ou_mean_first_passage
+from repro.traps.band import crossing_energy
+from repro.traps.propensity import propensity_sum, rates_from_bias
+from repro.traps.trap import Trap
+
+NMOS = MosfetParams.nominal(TECH_90NM, "n")
+
+
+def calibrated_trap(v_cross: float = 0.6) -> Trap:
+    y = 1.5e-9  # slow enough for affordable OU resolution
+    return Trap(y_tr=y, e_tr=crossing_energy(v_cross, y, TECH_90NM))
+
+
+class TestMeanFirstPassage:
+    def test_monotone_in_distance(self):
+        assert ou_mean_first_passage(-1.0, 2.0) > ou_mean_first_passage(-1.0, 1.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ModelError):
+            ou_mean_first_passage(1.0, 1.0)
+
+    def test_symmetric_barrier_growth(self):
+        """Higher symmetric barriers take exponentially longer."""
+        t2 = ou_mean_first_passage(-2.0, 2.0)
+        t3 = ou_mean_first_passage(-3.0, 3.0)
+        assert t3 / t2 > 5.0
+
+
+class TestCalibration:
+    def test_thresholds_ordered(self):
+        gen = YeBaselineGenerator(NMOS, calibrated_trap(), 0.6, 1e-4)
+        assert gen.th_low < gen.th_high
+
+    def test_asymmetric_rates_shift_centre(self):
+        """If capture dominates (short empty dwell), the low->high barrier
+        must be easier than the high->low barrier."""
+        trap = calibrated_trap(v_cross=0.5)
+        gen = YeBaselineGenerator(NMOS, trap, 0.7, 1e-4)  # above crossing
+        lam_c, lam_e = rates_from_bias(0.7, trap, TECH_90NM)
+        assert lam_c > lam_e
+        up = ou_mean_first_passage(gen.th_low, gen.th_high)
+        down = ou_mean_first_passage(-gen.th_high, -gen.th_low)
+        assert up < down
+
+    def test_rejects_one_sided_calibration(self):
+        trap = Trap(y_tr=1.5e-9, e_tr=-50.0)  # absurdly deep: always filled
+        with pytest.raises(ModelError):
+            YeBaselineGenerator(NMOS, trap, 0.6, 1e-4)
+
+
+class TestGeneration:
+    def test_window_validation(self, rng):
+        gen = YeBaselineGenerator(NMOS, calibrated_trap(), 0.6, 1e-4)
+        with pytest.raises(SimulationError):
+            gen.generate_occupancy(-1.0, rng)
+        with pytest.raises(SimulationError):
+            gen.generate(np.array([0.0]), rng)
+
+    def test_matches_calibration_statistics(self, rng):
+        """At the calibration bias the dwell means land near targets."""
+        trap = calibrated_trap(0.6)
+        gen = YeBaselineGenerator(NMOS, trap, 0.6, 1e-4)
+        total = propensity_sum(trap, TECH_90NM)
+        occ = gen.generate_occupancy(600.0 / total, rng)
+        lam_c, lam_e = rates_from_bias(0.6, trap, TECH_90NM)
+        mean_low = occ.dwell_times(0).mean()
+        mean_high = occ.dwell_times(1).mean()
+        assert mean_low == pytest.approx(1.0 / lam_c, rel=0.35)
+        assert mean_high == pytest.approx(1.0 / lam_e, rel=0.35)
+
+    def test_trace_amplitude_constant(self, rng):
+        gen = YeBaselineGenerator(NMOS, calibrated_trap(), 0.6, 1e-4)
+        total = propensity_sum(calibrated_trap(), TECH_90NM)
+        times = np.linspace(0.0, 100.0 / total, 512)
+        trace = gen.generate(times, rng)
+        levels = np.unique(trace.current)
+        assert levels.size <= 2
+        assert levels.max() == pytest.approx(gen.amplitude)
+
+    def test_cannot_track_bias_change(self, rng):
+        """A2, the load-bearing negative result: after calibration, the
+        baseline's occupancy does NOT respond to the true bias moving,
+        while the true equilibrium swings from ~0 to ~1."""
+        trap = calibrated_trap(0.6)
+        tech = TECH_90NM
+        gen = YeBaselineGenerator(NMOS, trap, 0.6, 1e-4)
+        total = propensity_sum(trap, tech)
+        occ = gen.generate_occupancy(400.0 / total, rng)
+        baseline_fill = occ.fraction_filled()
+        # True statistics at the bias extremes:
+        lam_c_hi, lam_e_hi = rates_from_bias(1.0, trap, tech)
+        lam_c_lo, lam_e_lo = rates_from_bias(0.0, trap, tech)
+        true_hi = lam_c_hi / (lam_c_hi + lam_e_hi)
+        true_lo = lam_c_lo / (lam_c_lo + lam_e_lo)
+        assert true_hi > 0.9
+        assert true_lo < 0.1
+        # The frozen baseline sits near its calibration point instead.
+        assert abs(baseline_fill - 0.5) < 0.3

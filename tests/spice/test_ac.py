@@ -1,0 +1,140 @@
+"""Tests for AC small-signal analysis against closed-form responses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosfetParams
+from repro.devices.technology import TECH_90NM
+from repro.errors import AnalysisError, NetlistError
+from repro.spice.ac import ac_analysis
+from repro.spice.circuit import Circuit
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.sources import DC
+
+
+def rc_lowpass(r=1e3, c=1e-9) -> Circuit:
+    circuit = Circuit("rc")
+    VoltageSource("VIN", circuit, "in", "0", DC(0.0))
+    Resistor("R1", circuit, "in", "out", r)
+    Capacitor("C1", circuit, "out", "0", c)
+    return circuit
+
+
+class TestInterface:
+    def test_rejects_bad_frequencies(self):
+        c = rc_lowpass()
+        with pytest.raises(AnalysisError):
+            ac_analysis(c, "VIN", np.array([]))
+        with pytest.raises(AnalysisError):
+            ac_analysis(c, "VIN", np.array([0.0, 1.0]))
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(NetlistError):
+            ac_analysis(rc_lowpass(), "VX", np.array([1.0]))
+
+
+class TestRcLowpass:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        r, c = 1e3, 1e-9
+        freq = np.logspace(3, 8, 60)
+        return r, c, ac_analysis(rc_lowpass(r, c), "VIN", freq)
+
+    def test_transfer_function_matches_closed_form(self, sweep):
+        r, c, result = sweep
+        expected = 1.0 / (1.0 + 1j * 2 * np.pi * result.frequencies * r * c)
+        assert np.allclose(result.phasors["out"], expected, rtol=1e-6)
+
+    def test_corner_frequency(self, sweep):
+        r, c, result = sweep
+        f_c = 1.0 / (2 * np.pi * r * c)
+        assert result.corner_frequency("out") == pytest.approx(f_c, rel=0.02)
+
+    def test_phase_at_corner(self, sweep):
+        r, c, result = sweep
+        f_c = 1.0 / (2 * np.pi * r * c)
+        index = int(np.argmin(np.abs(result.frequencies - f_c)))
+        assert result.phase_deg("out")[index] == pytest.approx(-45.0,
+                                                               abs=5.0)
+
+    def test_magnitude_db_rolloff(self, sweep):
+        """-20 dB/decade above the corner."""
+        __, __, result = sweep
+        db = result.magnitude_db("out")
+        f = result.frequencies
+        hi = (f > 1e7)
+        slope = np.polyfit(np.log10(f[hi]), db[hi], 1)[0]
+        assert slope == pytest.approx(-20.0, abs=1.0)
+
+    def test_input_node_follows_stimulus(self, sweep):
+        __, __, result = sweep
+        assert np.allclose(result.magnitude("in"), 1.0)
+
+    def test_no_corner_when_flat(self):
+        circuit = Circuit("flat")
+        VoltageSource("VIN", circuit, "in", "0", DC(0.0))
+        Resistor("R1", circuit, "in", "out", 1e3)
+        Resistor("R2", circuit, "out", "0", 1e3)
+        result = ac_analysis(circuit, "VIN", np.logspace(3, 6, 10))
+        assert result.corner_frequency("out") is None
+        assert np.allclose(result.magnitude("out"), 0.5)
+
+
+class TestCurrentSourceStimulus:
+    def test_current_into_rc_gives_impedance(self):
+        """V(out)/I = R || 1/(jwC)."""
+        circuit = Circuit("z")
+        CurrentSource("IIN", circuit, "0", "out", DC(0.0))
+        Resistor("R1", circuit, "out", "0", 2e3)
+        Capacitor("C1", circuit, "out", "0", 1e-9)
+        freq = np.logspace(3, 7, 30)
+        result = ac_analysis(circuit, "IIN", freq)
+        omega = 2 * np.pi * freq
+        expected = 1.0 / (1.0 / 2e3 + 1j * omega * 1e-9)
+        assert np.allclose(result.phasors["out"], expected, rtol=1e-6)
+
+
+class TestMosfetSmallSignal:
+    def test_common_source_gain(self):
+        """|A_v| = gm * R_load at low frequency for a CS stage."""
+        from repro.devices.ekv import drain_current_derivatives
+        circuit = Circuit("cs")
+        VoltageSource("VDD", circuit, "vdd", "0", DC(1.0))
+        VoltageSource("VG", circuit, "g", "0", DC(0.6))
+        Resistor("RL", circuit, "vdd", "d", 5e3)
+        params = MosfetParams.nominal(TECH_90NM, "n")
+        Mosfet("M1", circuit, "d", "g", "0", "0", params)
+        freq = np.logspace(3, 5, 5)
+        result = ac_analysis(circuit, "VG", freq)
+        op = result.operating_point
+        __, gm, gds, __, __ = drain_current_derivatives(
+            params, 0.6, op["d"], 0.0, 0.0)
+        expected = gm / (1.0 / 5e3 + gds)
+        assert result.magnitude("d")[0] == pytest.approx(expected, rel=0.01)
+        # Inverting stage: ~180 degrees.
+        assert abs(result.phase_deg("d")[0]) == pytest.approx(180.0,
+                                                              abs=1.0)
+
+    def test_rtn_injection_transfer_is_lowpass(self):
+        """The cell node seen by an injected RTN current is a lowpass:
+        high-frequency trap flicker is filtered, slow traps pass."""
+        from repro.sram.cell import build_sram_cell
+        cell = build_sram_cell()
+        # AC-inject at Q against the holding cell (hold state 1).
+        CurrentSource("ITEST", cell.circuit, "0", "q", DC(0.0))
+        from repro.spice.dcop import dc_operating_point
+        op = dc_operating_point(cell.circuit,
+                                initial_guess=cell.initial_voltages(1))
+        freq = np.logspace(6, 12, 40)
+        result = ac_analysis(cell.circuit, "ITEST", freq,
+                             operating_point=op)
+        mag = result.magnitude("q")
+        assert mag[0] > 10 * mag[-1]  # lowpass by >20 dB over the sweep

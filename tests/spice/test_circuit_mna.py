@@ -1,0 +1,121 @@
+"""Tests for the circuit container and the MNA stamper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.circuit import Circuit
+from repro.spice.elements import Resistor, VoltageSource
+from repro.spice.mna import GROUND, Stamper
+from repro.spice.sources import DC
+
+
+class TestCircuit:
+    def test_node_registration(self):
+        c = Circuit()
+        assert c.node("a") == 0
+        assert c.node("b") == 1
+        assert c.node("a") == 0  # idempotent
+        assert c.n_nodes == 2
+        assert c.node_names == ["a", "b"]
+
+    def test_ground_aliases(self):
+        c = Circuit()
+        for name in ("0", "gnd", "GND", "vss", "VSS"):
+            assert c.node(name) == GROUND
+
+    def test_empty_node_name(self):
+        with pytest.raises(NetlistError):
+            Circuit().node("")
+
+    def test_duplicate_element_rejected(self):
+        c = Circuit()
+        Resistor("R1", c, "a", "0", 1.0)
+        with pytest.raises(NetlistError):
+            Resistor("R1", c, "b", "0", 1.0)
+
+    def test_element_lookup_and_remove(self):
+        c = Circuit()
+        r = Resistor("R1", c, "a", "0", 1.0)
+        assert c.element("R1") is r
+        c.remove("R1")
+        with pytest.raises(NetlistError):
+            c.element("R1")
+
+    def test_branch_assignment(self):
+        c = Circuit()
+        Resistor("R1", c, "a", "b", 1.0)
+        VoltageSource("V1", c, "a", "0", DC(1.0))
+        VoltageSource("V2", c, "b", "0", DC(2.0))
+        n = c.assign_branches()
+        assert n == 4  # 2 nodes + 2 branch currents
+        assert c.element("V1").branch_index == 2
+        assert c.element("V2").branch_index == 3
+        assert c.branch_names() == ["i(V1)", "i(V2)"]
+
+    def test_summary_mentions_counts(self):
+        c = Circuit("demo")
+        Resistor("R1", c, "a", "0", 1.0)
+        text = c.summary()
+        assert "demo" in text
+        assert "1 Resistor" in text
+
+    def test_has_node(self):
+        c = Circuit()
+        c.node("x")
+        assert c.has_node("x")
+        assert c.has_node("0")
+        assert not c.has_node("y")
+
+
+class TestStamper:
+    def test_conductance_stamp_pattern(self):
+        s = Stamper(2)
+        s.add_conductance(0, 1, 5.0)
+        expected = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        assert np.array_equal(s.matrix, expected)
+
+    def test_ground_skipped(self):
+        s = Stamper(2)
+        s.add_conductance(0, GROUND, 3.0)
+        assert s.matrix[0, 0] == 3.0
+        assert np.count_nonzero(s.matrix) == 1
+        s.add_rhs(GROUND, 9.0)
+        assert np.all(s.rhs == 0.0)
+
+    def test_current_injection_signs(self):
+        s = Stamper(2)
+        s.add_current_injection(0, 1, 2.0)
+        # Current leaves node 0 (RHS -2) and enters node 1 (+2).
+        assert s.rhs[0] == -2.0
+        assert s.rhs[1] == 2.0
+
+    def test_linearised_branch_consistency(self):
+        """A linear branch stamped via the Newton helper must solve to
+        the same solution as a direct conductance stamp."""
+        g = 4.0
+        x0 = np.array([0.3, -0.2])
+
+        def branch_current(x):
+            return g * (x[0] - x[1])
+
+        s = Stamper(2)
+        s.add_linearised_branch(
+            0, 1, branch_current(x0), [(0, g), (1, -g)], x0)
+        s.add_matrix(0, 0, 1.0)   # anchor with 1-ohm to ground at node 0
+        s.add_rhs(0, 1.0)         # and 1 A injected
+        s.add_matrix(1, 1, 1.0)
+        direct = Stamper(2)
+        direct.add_conductance(0, 1, g)
+        direct.add_matrix(0, 0, 1.0)
+        direct.add_rhs(0, 1.0)
+        direct.add_matrix(1, 1, 1.0)
+        assert np.allclose(s.solve(), direct.solve())
+
+    def test_solve(self):
+        s = Stamper(1)
+        s.add_matrix(0, 0, 2.0)
+        s.add_rhs(0, 4.0)
+        assert s.solve()[0] == pytest.approx(2.0)

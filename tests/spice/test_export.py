@@ -1,0 +1,126 @@
+"""Tests for netlist export (and parser round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosfetParams
+from repro.devices.technology import TECH_45NM, TECH_90NM
+from repro.errors import NetlistError
+from repro.spice.circuit import Circuit
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.export import circuit_to_deck, format_stimulus
+from repro.spice.netlist import parse_netlist
+from repro.spice.sources import DC, PULSE, PWL, SIN
+from repro.spice.transient import simulate_transient
+
+
+class TestStimulusFormatting:
+    def test_dc(self):
+        assert format_stimulus(DC(1.5)) == "1.5"
+
+    def test_pulse_round_trip_shape(self):
+        text = format_stimulus(PULSE(0, 1, 1e-9, 0.1e-9, 0.1e-9, 2e-9,
+                                     10e-9))
+        assert text.startswith("PULSE(")
+        assert "1e-09" in text
+
+    def test_pwl(self):
+        text = format_stimulus(PWL(times=(0.0, 1e-6), values=(0.0, 1.0)))
+        assert text == "PWL(0 0 1e-06 1)"
+
+    def test_sin(self):
+        assert format_stimulus(SIN(0.0, 1.0, 1e6)).startswith("SIN(")
+
+    def test_unserialisable(self):
+        with pytest.raises(NetlistError):
+            format_stimulus(lambda t: 0.0)
+
+
+class TestDeckGeneration:
+    def build(self) -> Circuit:
+        c = Circuit("demo")
+        VoltageSource("V1", c, "in", "0", DC(2.0))
+        Resistor("R1", c, "in", "out", 1e3)
+        Capacitor("C1", c, "out", "0", 1e-9)
+        CurrentSource("I1", c, "0", "out", DC(1e-6))
+        Mosfet("M1", c, "out", "in", "0", "0",
+               MosfetParams.nominal(TECH_90NM, "n"))
+        return c
+
+    def test_deck_contains_all_cards(self):
+        deck = circuit_to_deck(self.build())
+        for name in ("V1", "R1", "C1", "I1", "M1"):
+            assert any(line.startswith(name)
+                       for line in deck.splitlines())
+        assert deck.rstrip().endswith(".end")
+
+    def test_title_line(self):
+        deck = circuit_to_deck(self.build(), title="custom")
+        assert deck.splitlines()[0] == "* custom"
+
+    def test_ic_card(self):
+        deck = circuit_to_deck(self.build(),
+                               initial_voltages={"out": 0.5, "in": 2.0})
+        assert ".ic V(in)=2 V(out)=0.5" in deck
+
+
+class TestRoundTrip:
+    def test_linear_circuit_round_trip(self):
+        original = Circuit("rt")
+        VoltageSource("V1", original, "in", "0", DC(10.0))
+        Resistor("R1", original, "in", "mid", 6e3)
+        Resistor("R2", original, "mid", "0", 4e3)
+        deck = circuit_to_deck(original)
+        reparsed = parse_netlist(deck).circuit
+        assert dc_operating_point(reparsed)["mid"] == pytest.approx(4.0)
+
+    def test_mosfet_round_trip(self):
+        original = Circuit("mos")
+        VoltageSource("VDD", original, "vdd", "0", DC(1.0))
+        VoltageSource("VIN", original, "in", "0", DC(0.5))
+        Mosfet("MP", original, "out", "in", "vdd", "vdd",
+               MosfetParams.nominal(TECH_90NM, "p"))
+        Mosfet("MN", original, "out", "in", "0", "0",
+               MosfetParams(0.1e-6, 45e-9, "n", TECH_45NM))
+        deck = circuit_to_deck(original)
+        reparsed = parse_netlist(deck).circuit
+        mn = reparsed.element("MN")
+        assert mn.params.technology.name == "45nm"
+        assert mn.params.width == pytest.approx(0.1e-6)
+        assert dc_operating_point(reparsed)["out"] == pytest.approx(
+            dc_operating_point(original)["out"], abs=1e-6)
+
+    def test_transient_round_trip(self):
+        """Parse(export(circuit)) produces the same waveform."""
+        original = Circuit("tran")
+        VoltageSource("V1", original, "in", "0",
+                      PULSE(0.0, 1.0, 1e-7, 1e-9, 1e-9, 5e-7))
+        Resistor("R1", original, "in", "out", 1e3)
+        Capacitor("C1", original, "out", "0", 1e-10)
+        ics = {"out": 0.0}
+        deck = circuit_to_deck(original, initial_voltages=ics)
+        parsed = parse_netlist(deck)
+        wf_a = simulate_transient(original, 1e-6, 1e-9,
+                                  initial_voltages=ics)
+        wf_b = simulate_transient(parsed.circuit, 1e-6, 1e-9,
+                                  initial_voltages=parsed.initial_voltages)
+        assert np.allclose(wf_a["out"], wf_b["out"], atol=1e-9)
+
+    def test_sram_cell_exportable(self):
+        """The full 6T cell (with parasitics) serialises and re-parses."""
+        from repro.sram.cell import build_sram_cell
+        cell = build_sram_cell()
+        deck = circuit_to_deck(cell.circuit,
+                               initial_voltages=cell.initial_voltages(0))
+        parsed = parse_netlist(deck)
+        assert len(parsed.circuit.elements) == len(cell.circuit.elements)
+        assert parsed.initial_voltages["qb"] == pytest.approx(cell.vdd)

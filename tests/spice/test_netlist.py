@@ -1,0 +1,158 @@
+"""Tests for the text netlist parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements import Capacitor, Mosfet, Resistor
+from repro.spice.netlist import parse_netlist
+from repro.spice.sources import DC, PULSE, PWL, SIN
+from repro.spice.transient import simulate_transient
+
+
+class TestBasicCards:
+    def test_rc_deck(self):
+        deck = """
+        * a simple divider
+        V1 in 0 10
+        R1 in mid 6k
+        R2 mid 0 4k
+        .end
+        """
+        parsed = parse_netlist(deck)
+        sol = dc_operating_point(parsed.circuit)
+        assert sol["mid"] == pytest.approx(4.0, rel=1e-6)
+
+    def test_element_types(self):
+        parsed = parse_netlist("""
+        V1 a 0 1
+        R1 a b 1k
+        C1 b 0 1p
+        M1 b a 0 0 nmos W=0.2u L=0.1u TECH=90nm
+        """)
+        kinds = [type(e).__name__ for e in parsed.circuit.elements]
+        assert kinds == ["VoltageSource", "Resistor", "Capacitor", "Mosfet"]
+
+    def test_engineering_suffixes(self):
+        parsed = parse_netlist("R1 a 0 2.2MEG")
+        assert parsed.circuit.element("R1").resistance == pytest.approx(2.2e6)
+
+    def test_continuation_lines(self):
+        parsed = parse_netlist("""
+        V1 in 0
+        + PULSE(0 1 1n 0.1n 0.1n 2n 10n)
+        R1 in 0 1k
+        """)
+        stim = parsed.circuit.element("V1").stimulus
+        assert isinstance(stim, PULSE)
+        assert stim.period == pytest.approx(10e-9)
+
+    def test_comments_ignored(self):
+        parsed = parse_netlist("* only a comment\nR1 a 0 1k")
+        assert len(parsed.circuit.elements) == 1
+
+    def test_end_stops_parsing(self):
+        parsed = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 1k")
+        assert len(parsed.circuit.elements) == 1
+
+
+class TestStimulusForms:
+    def test_dc_keyword(self):
+        parsed = parse_netlist("I1 0 out DC 2m\nR1 out 0 1k")
+        stim = parsed.circuit.element("I1").stimulus
+        assert isinstance(stim, DC)
+        assert stim.value == pytest.approx(2e-3)
+
+    def test_pwl(self):
+        parsed = parse_netlist("V1 in 0 PWL(0 0 1u 1 2u 0)\nR1 in 0 1k")
+        stim = parsed.circuit.element("V1").stimulus
+        assert isinstance(stim, PWL)
+        assert stim(0.5e-6) == pytest.approx(0.5)
+
+    def test_sin(self):
+        parsed = parse_netlist("V1 in 0 SIN(0 1 1MEG)\nR1 in 0 1k")
+        stim = parsed.circuit.element("V1").stimulus
+        assert isinstance(stim, SIN)
+        assert stim.frequency == pytest.approx(1e6)
+
+    def test_bad_stimulus_forms(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 in 0 PULSE(1)")
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 in 0 PWL(0 0 1u)")
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 in 0 DC")
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 in 0")
+
+
+class TestMosfetCards:
+    def test_full_card(self):
+        parsed = parse_netlist(
+            "M1 d g s 0 pmos W=0.36u L=90n TECH=90nm")
+        m = parsed.circuit.element("M1")
+        assert isinstance(m, Mosfet)
+        assert m.params.polarity == "p"
+        assert m.params.width == pytest.approx(0.36e-6)
+        assert m.params.length == pytest.approx(90e-9)
+
+    def test_caps_flag_attaches_parasitics(self):
+        parsed = parse_netlist("M1 d g s 0 nmos W=0.2u L=0.1u CAPS")
+        names = {e.name for e in parsed.circuit.elements}
+        assert {"M1", "CM1_gs", "CM1_gd", "CM1_db", "CM1_sb"} <= names
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("M1 d g s 0 weird W=1u L=1u")
+        with pytest.raises(NetlistError):
+            parse_netlist("M1 d g s 0 nmos W=1u")
+        with pytest.raises(NetlistError):
+            parse_netlist("M1 d g s 0 nmos W=1u L=1u FROB=1")
+        with pytest.raises(NetlistError):
+            parse_netlist("M1 d g 0 nmos")
+
+
+class TestControlCards:
+    def test_ic_card(self):
+        parsed = parse_netlist("""
+        R1 q 0 1k
+        C1 q 0 1p
+        .ic V(q)=0.8
+        """)
+        assert parsed.initial_voltages == {"q": pytest.approx(0.8)}
+
+    def test_multiple_ics_one_card(self):
+        parsed = parse_netlist("R1 a b 1\n.ic V(a)=1 V(b)=0.5")
+        assert parsed.initial_voltages == {"a": 1.0, "b": 0.5}
+
+    def test_unknown_control_card(self):
+        with pytest.raises(NetlistError):
+            parse_netlist(".tran 1n 10n")
+
+    def test_unknown_element_card(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("Q1 a b c model")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("+ R1 a 0 1k")
+
+
+class TestEndToEnd:
+    def test_netlist_driven_transient(self):
+        """A full parse -> simulate round trip (RC lowpass step)."""
+        parsed = parse_netlist("""
+        * RC lowpass
+        V1 in 0 PULSE(0 1 0 1p 1p 1)
+        R1 in out 1k
+        C1 out 0 1n
+        .ic V(out)=0
+        """)
+        wf = simulate_transient(parsed.circuit, 5e-6, 1e-8,
+                                initial_voltages=parsed.initial_voltages)
+        assert wf.final("out") == pytest.approx(1.0, abs=0.01)
+        tau_measured = wf.crossing_time("out", 1.0 - np.exp(-1.0))
+        assert tau_measured == pytest.approx(1e-6, rel=0.05)

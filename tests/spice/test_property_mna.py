@@ -1,0 +1,113 @@
+"""Property-based validation of the MNA engine on random linear circuits.
+
+Random resistor ladders driven by a voltage source are solved both by
+the circuit engine and by a directly assembled nodal system; they must
+agree to solver precision.  This exercises the stamp conventions far
+beyond the hand-built cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.circuit import Circuit
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements import Capacitor, CurrentSource, Resistor, VoltageSource
+from repro.spice.sources import DC
+from repro.spice.transient import simulate_transient
+
+resistances = st.lists(st.floats(min_value=10.0, max_value=1e6),
+                       min_size=2, max_size=10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=resistances, v_in=st.floats(min_value=-10.0, max_value=10.0))
+def test_property_ladder_matches_direct_solve(values, v_in):
+    """A series ladder to ground: node k sits at the resistive-divider
+    voltage computed directly from the chain."""
+    circuit = Circuit("ladder")
+    VoltageSource("V1", circuit, "n0", "0", DC(v_in))
+    for index, r in enumerate(values):
+        Resistor(f"R{index}", circuit, f"n{index}", f"n{index + 1}", r)
+    Resistor("Rend", circuit, f"n{len(values)}", "0", 1e3)
+    solution = dc_operating_point(circuit)
+    total = sum(values) + 1e3
+    running = 0.0
+    for index, r in enumerate(values):
+        running += r
+        expected = v_in * (1.0 - running / total)
+        # The permanent gmin floor (1e-12 S per node) shifts megaohm
+        # ladders by up to ~R_total * gmin ~ 1e-5 relative.
+        assert solution[f"n{index + 1}"] == pytest.approx(
+            expected, rel=1e-4, abs=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    conductors=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4),
+                  st.integers(min_value=0, max_value=4),
+                  st.floats(min_value=1e-5, max_value=1e-2)),
+        min_size=4, max_size=12),
+    injections=st.lists(st.floats(min_value=-1e-3, max_value=1e-3),
+                        min_size=4, max_size=4),
+)
+def test_property_random_conductance_network(conductors, injections):
+    """Random conductance graphs with current injections: the engine's
+    solution satisfies the directly assembled nodal equations."""
+    # Ensure every node has a path to ground: tie each to ground weakly.
+    circuit = Circuit("mesh")
+    g_matrix = np.zeros((4, 4))
+    index = 0
+    for a, b, g in conductors:
+        a, b = a % 5, b % 5  # node 4 -> ground alias below
+        if a == b:
+            continue
+        name_a = "0" if a == 4 else f"n{a}"
+        name_b = "0" if b == 4 else f"n{b}"
+        Resistor(f"R{index}", circuit, name_a, name_b, 1.0 / g)
+        index += 1
+        if a != 4 and b != 4:
+            g_matrix[a, a] += g
+            g_matrix[b, b] += g
+            g_matrix[a, b] -= g
+            g_matrix[b, a] -= g
+        elif a != 4:
+            g_matrix[a, a] += g
+        elif b != 4:
+            g_matrix[b, b] += g
+    rhs = np.zeros(4)
+    for node, current in enumerate(injections):
+        CurrentSource(f"I{node}", circuit, "0", f"n{node}", DC(current))
+        rhs[node] += current
+    for node in range(4):
+        Resistor(f"Rg{node}", circuit, f"n{node}", "0", 1e6)
+        g_matrix[node, node] += 1e-6
+    solution = dc_operating_point(circuit)
+    direct = np.linalg.solve(g_matrix, rhs)
+    for node in range(4):
+        assert solution[f"n{node}"] == pytest.approx(
+            float(direct[node]), rel=1e-5, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    r=st.floats(min_value=100.0, max_value=1e5),
+    c=st.floats(min_value=1e-12, max_value=1e-9),
+    v=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_property_rc_settles_to_source(r, c, v):
+    """Any RC lowpass driven by DC settles to the source value within
+    10 time constants, from any of three initial conditions."""
+    tau = r * c
+    for v0 in (0.0, v / 2, 2 * v):
+        circuit = Circuit("rc")
+        VoltageSource("V1", circuit, "in", "0", DC(v))
+        Resistor("R1", circuit, "in", "out", r)
+        Capacitor("C1", circuit, "out", "0", c)
+        wf = simulate_transient(circuit, 10 * tau, tau / 25,
+                                initial_voltages={"out": v0})
+        assert wf.final("out") == pytest.approx(v, rel=1e-3, abs=1e-6)

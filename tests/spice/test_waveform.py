@@ -1,0 +1,89 @@
+"""Tests for the Waveform container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.waveform import Waveform
+
+
+def make_waveform() -> Waveform:
+    t = np.linspace(0.0, 1.0, 11)
+    return Waveform(t, {"ramp": t, "flat": np.full(11, 2.0)})
+
+
+class TestConstruction:
+    def test_signals_listed(self):
+        wf = make_waveform()
+        assert wf.signals == ["ramp", "flat"]
+        assert "ramp" in wf
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.array([0.0]), {})
+        with pytest.raises(AnalysisError):
+            Waveform(np.array([0.0, 0.0]), {})
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.array([0.0, 1.0]), {"x": np.zeros(3)})
+
+    def test_unknown_signal_error_lists_known(self):
+        with pytest.raises(AnalysisError, match="ramp"):
+            make_waveform()["missing"]
+
+    def test_add_signal(self):
+        wf = make_waveform()
+        wf.add_signal("double", 2 * wf["ramp"])
+        assert wf.at("double", 0.5) == pytest.approx(1.0)
+
+
+class TestQueries:
+    def test_at_interpolates(self):
+        assert make_waveform().at("ramp", 0.55) == pytest.approx(0.55)
+
+    def test_final(self):
+        assert make_waveform().final("ramp") == 1.0
+
+    def test_window(self):
+        sub = make_waveform().window(0.2, 0.8)
+        assert sub.times[0] >= 0.2
+        assert sub.times[-1] <= 0.8
+        assert "flat" in sub
+
+    def test_window_validation(self):
+        with pytest.raises(AnalysisError):
+            make_waveform().window(0.8, 0.2)
+        with pytest.raises(AnalysisError):
+            make_waveform().window(2.0, 3.0)
+
+
+class TestCrossingTime:
+    def test_rising_crossing(self):
+        wf = make_waveform()
+        assert wf.crossing_time("ramp", 0.35, rising=True) == \
+            pytest.approx(0.35)
+
+    def test_falling_crossing(self):
+        t = np.linspace(0.0, 1.0, 11)
+        wf = Waveform(t, {"fall": 1.0 - t})
+        assert wf.crossing_time("fall", 0.25, rising=False) == \
+            pytest.approx(0.75)
+
+    def test_no_crossing_returns_none(self):
+        assert make_waveform().crossing_time("flat", 5.0) is None
+
+    def test_after_parameter(self):
+        t = np.linspace(0.0, 2.0, 21)
+        wf = Waveform(t, {"saw": np.where(t < 1.0, t, t - 1.0)})
+        first = wf.crossing_time("saw", 0.5)
+        second = wf.crossing_time("saw", 0.5, after=1.0)
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.5)
+
+    def test_direction_respected(self):
+        t = np.linspace(0.0, 1.0, 11)
+        wf = Waveform(t, {"ramp": t})
+        assert wf.crossing_time("ramp", 0.5, rising=False) is None

@@ -1,0 +1,105 @@
+"""Tests for per-transistor bias extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spice.transient import TransientOptions, simulate_transient
+from repro.sram.biases import extract_biases
+from repro.sram.cell import SramCellSpec, build_sram_cell
+from repro.sram.patterns import build_pattern_waveforms, write_pattern
+
+
+@pytest.fixture(scope="module")
+def write_run():
+    """One clean write-1 transient shared by the tests."""
+    cell = build_sram_cell(SramCellSpec())
+    pattern = write_pattern([1], cycle=8e-9, wl_delay=2e-9, wl_width=3e-9)
+    waves = build_pattern_waveforms(pattern, cell.vdd)
+    cell.set_stimuli(waves.wl, waves.bl, waves.blb)
+    waveform = simulate_transient(
+        cell.circuit, waves.duration, waves.suggested_dt,
+        initial_voltages=cell.initial_voltages(0),
+        options=TransientOptions(record_every=2))
+    return cell, waves, waveform
+
+
+class TestExtraction:
+    def test_all_transistors_covered(self, write_run):
+        cell, __, waveform = write_run
+        biases = extract_biases(cell, waveform)
+        assert set(biases) == set(cell.transistors)
+        for record in biases.values():
+            assert record.times.shape == waveform.times.shape
+            assert record.v_drive.shape == waveform.times.shape
+            assert record.i_d.shape == waveform.times.shape
+
+    def test_pass_gate_drive_follows_wordline(self, write_run):
+        """M1's drive is zero before WL rises, spikes while the write is
+        in flight, and collapses again once Q reaches BL (vgs -> 0 with
+        both terminals high — no inversion layer, no trap capture)."""
+        cell, waves, waveform = write_run
+        biases = extract_biases(cell, waveform)
+        item = waves.schedule[0]
+        m1 = biases["M1"]
+        before = np.abs(m1.v_drive[m1.times < item.wl_on - 0.5e-9])
+        early = m1.v_drive[(m1.times >= item.wl_on)
+                           & (m1.times < item.wl_on + 0.4e-9)]
+        late = m1.v_drive[(m1.times > item.wl_off - 0.5e-9)
+                          & (m1.times < item.wl_off)]
+        assert before.max() < 0.15
+        assert early.max() > 0.4 * cell.vdd
+        assert late.max() < 0.3 * cell.vdd
+
+    def test_m5_drive_is_q(self, write_run):
+        """M5's gate is Q: after the write its drive is ~vdd."""
+        cell, waves, waveform = write_run
+        biases = extract_biases(cell, waveform)
+        final_drive = biases["M5"].v_drive[-1]
+        assert final_drive == pytest.approx(cell.vdd, abs=0.1)
+
+    def test_pmos_drive_convention(self, write_run):
+        """M4 (pullup driving Q, gate QB): on after the write-1, and its
+        drive is reported positive."""
+        cell, __, waveform = write_run
+        biases = extract_biases(cell, waveform)
+        assert biases["M4"].v_drive[-1] == pytest.approx(cell.vdd, abs=0.1)
+
+    def test_pass_current_direction_flips_between_writes(self):
+        """M1 carries bl->q current on a write-1 but q->bl on a write-0
+        — the signed i_d must capture that."""
+        cell = build_sram_cell(SramCellSpec())
+        pattern = write_pattern([1, 0], cycle=8e-9, wl_delay=2e-9,
+                                wl_width=3e-9)
+        waves = build_pattern_waveforms(pattern, cell.vdd)
+        cell.set_stimuli(waves.wl, waves.bl, waves.blb)
+        waveform = simulate_transient(
+            cell.circuit, waves.duration, waves.suggested_dt,
+            initial_voltages=cell.initial_voltages(0),
+            options=TransientOptions(record_every=2))
+        m1 = extract_biases(cell, waveform)["M1"]
+        first, second = waves.schedule
+        in_first = (m1.times > first.wl_on) & (m1.times < first.wl_off)
+        in_second = (m1.times > second.wl_on) & (m1.times < second.wl_off)
+        # M1 drain is BL: write-1 discharges BL into Q => i_d > 0 (d->s);
+        # write-0 pulls Q down through BL => i_d < 0.
+        assert m1.i_d[in_first].max() > 1e-6
+        assert m1.i_d[in_second].min() < -1e-6
+
+    def test_peak_current_magnitude(self, write_run):
+        cell, __, waveform = write_run
+        biases = extract_biases(cell, waveform)
+        # Pass gates carry tens of microamps during the write at 1 V.
+        assert 1e-6 < biases["M1"].peak_current() < 1e-3
+
+    def test_on_fraction(self, write_run):
+        """M1's drive exceeds vdd/2 only during the brief write-in-flight
+        phase (once Q = BL the overdrive is gone), M5's for most of the
+        slot (its gate is Q, which is high after the write)."""
+        cell, __, waveform = write_run
+        biases = extract_biases(cell, waveform)
+        m1_on = biases["M1"].on_fraction(0.5 * cell.vdd)
+        m5_on = biases["M5"].on_fraction(0.5 * cell.vdd)
+        assert 0.0 < m1_on < 0.2
+        assert m5_on > 0.5

@@ -1,0 +1,109 @@
+"""Tests for the operation-outcome classifier (Fig. 5 taxonomy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.waveform import Waveform
+from repro.sram.detectors import (
+    DetectorThresholds,
+    OpOutcome,
+    classify_operations,
+    count_outcomes,
+)
+from repro.sram.patterns import write_pattern
+
+VDD = 1.0
+
+
+def synthetic_waveform(settle_at: float, final_level: float,
+                       t_end: float = 10e-9) -> Waveform:
+    """Q ramps from 0 to ``final_level``, arriving at ``settle_at``."""
+    times = np.linspace(0.0, t_end, 1001)
+    q = np.clip(times / settle_at, 0.0, 1.0) * final_level
+    return Waveform(times, {"q": q})
+
+
+def single_write_schedule(**kwargs):
+    pattern = write_pattern([1], cycle=10e-9, wl_delay=2e-9, wl_width=4e-9,
+                            **kwargs)
+    return pattern.schedule()
+
+
+class TestClassification:
+    def test_ok_write(self):
+        # Settles at 4 ns, WL falls at 6 ns: OK.
+        wf = synthetic_waveform(settle_at=4e-9, final_level=VDD)
+        results = classify_operations(wf, single_write_schedule(), VDD)
+        assert results[0].outcome is OpOutcome.OK
+        assert results[0].settle_time < 0.0
+
+    def test_slow_write(self):
+        # Settles at 8 ns, WL fell at 6 ns: SLOW (paper Fig. 5 middle).
+        wf = synthetic_waveform(settle_at=8e-9, final_level=VDD)
+        results = classify_operations(wf, single_write_schedule(), VDD)
+        assert results[0].outcome is OpOutcome.SLOW
+        assert results[0].settle_time > 0.0
+
+    def test_write_error(self):
+        # Q never leaves the wrong side: ERROR (paper Fig. 5 bottom).
+        wf = synthetic_waveform(settle_at=4e-9, final_level=0.2)
+        results = classify_operations(wf, single_write_schedule(), VDD)
+        assert results[0].outcome is OpOutcome.ERROR
+
+    def test_never_quite_valid_is_slow(self):
+        # Right side of vdd/2 but below the 0.9 band: SLOW, not OK.
+        wf = synthetic_waveform(settle_at=4e-9, final_level=0.7)
+        results = classify_operations(wf, single_write_schedule(), VDD)
+        assert results[0].outcome is OpOutcome.SLOW
+        assert results[0].settle_time is None
+
+    def test_settle_allowance_tolerates_small_delay(self):
+        wf = synthetic_waveform(settle_at=6.2e-9, final_level=VDD)
+        th = DetectorThresholds(settle_allowance=0.5e-9)
+        results = classify_operations(wf, single_write_schedule(), VDD,
+                                      thresholds=th)
+        assert results[0].outcome is OpOutcome.OK
+
+    def test_multi_slot_mixed(self):
+        """A pattern where a later write fails while earlier ones pass."""
+        pattern = write_pattern([1, 0], cycle=10e-9, wl_delay=2e-9,
+                                wl_width=4e-9)
+        times = np.linspace(0.0, 20e-9, 2001)
+        q = np.where(times < 4e-9, times / 4e-9, 1.0)   # write-1 OK
+        q = np.where(times >= 10e-9, 1.0, q)            # write-0 never happens
+        wf = Waveform(times, {"q": q})
+        results = classify_operations(wf, pattern.schedule(), VDD)
+        assert results[0].outcome is OpOutcome.OK
+        assert results[1].outcome is OpOutcome.ERROR
+        assert results[1].expected_bit == 0
+
+    def test_zero_expected_bit_ok(self):
+        """Holding a 0 the whole slot is OK for an expected 0."""
+        pattern = write_pattern([0], initial_bit=0, cycle=10e-9,
+                                wl_delay=2e-9, wl_width=4e-9)
+        times = np.linspace(0.0, 10e-9, 501)
+        wf = Waveform(times, {"q": np.zeros_like(times)})
+        results = classify_operations(wf, pattern.schedule(), VDD)
+        assert results[0].outcome is OpOutcome.OK
+
+
+class TestValidationAndAggregation:
+    def test_empty_schedule(self):
+        wf = synthetic_waveform(1e-9, 1.0)
+        with pytest.raises(AnalysisError):
+            classify_operations(wf, [], VDD)
+
+    def test_threshold_validation(self):
+        with pytest.raises(AnalysisError):
+            DetectorThresholds(valid_fraction=0.4)
+        with pytest.raises(AnalysisError):
+            DetectorThresholds(settle_allowance=-1.0)
+
+    def test_count_outcomes(self):
+        wf = synthetic_waveform(4e-9, VDD)
+        results = classify_operations(wf, single_write_schedule(), VDD)
+        counts = count_outcomes(results)
+        assert counts == {"ok": 1, "slow": 0, "error": 0}

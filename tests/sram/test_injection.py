@@ -1,0 +1,103 @@
+"""Tests for RTN source injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.rtn.trace import RTNTrace
+from repro.spice.elements import CurrentSource
+from repro.sram.cell import build_sram_cell
+from repro.sram.injection import (
+    RTN_SOURCE_PREFIX,
+    attach_rtn_sources,
+    detach_rtn_sources,
+)
+
+
+def flat_trace(value: float, label: str = "") -> RTNTrace:
+    return RTNTrace(times=np.array([0.0, 1e-7]),
+                    current=np.array([value, value]), label=label)
+
+
+class TestAttach:
+    def test_creates_sources(self):
+        cell = build_sram_cell()
+        created = attach_rtn_sources(
+            cell, {"M1": flat_trace(1e-6), "M5": flat_trace(2e-6)})
+        assert sorted(created) == ["Irtn_M1", "Irtn_M5"]
+        for name in created:
+            assert isinstance(cell.circuit.element(name), CurrentSource)
+
+    def test_orientation_source_to_drain(self):
+        cell = build_sram_cell()
+        attach_rtn_sources(cell, {"M1": flat_trace(1e-6)})
+        source = cell.circuit.element("Irtn_M1")
+        drain, __, src, __ = cell.terminals["M1"]
+        assert source.nodes == (cell.circuit.node(src),
+                                cell.circuit.node(drain))
+
+    def test_scale_applied(self):
+        cell = build_sram_cell()
+        attach_rtn_sources(cell, {"M1": flat_trace(1e-6)}, scale=30.0)
+        stim = cell.circuit.element("Irtn_M1").stimulus
+        assert stim(5e-8) == pytest.approx(30e-6)
+
+    def test_unknown_transistor(self):
+        cell = build_sram_cell()
+        with pytest.raises(SimulationError):
+            attach_rtn_sources(cell, {"M9": flat_trace(1e-6)})
+
+    def test_bad_trace_type(self):
+        cell = build_sram_cell()
+        with pytest.raises(SimulationError):
+            attach_rtn_sources(cell, {"M1": "zap"})
+
+    def test_negative_scale_rejected(self):
+        cell = build_sram_cell()
+        with pytest.raises(SimulationError):
+            attach_rtn_sources(cell, {"M1": flat_trace(1e-6)}, scale=-1.0)
+
+
+class TestDetach:
+    def test_round_trip(self):
+        cell = build_sram_cell()
+        before = len(cell.circuit.elements)
+        attach_rtn_sources(cell, {name: flat_trace(1e-6)
+                                  for name in cell.transistors})
+        assert len(cell.circuit.elements) == before + 6
+        removed = detach_rtn_sources(cell)
+        assert removed == 6
+        assert len(cell.circuit.elements) == before
+
+    def test_detach_without_attach(self):
+        assert detach_rtn_sources(build_sram_cell()) == 0
+
+    def test_prefix_namespacing(self):
+        cell = build_sram_cell()
+        attach_rtn_sources(cell, {"M1": flat_trace(1e-6)})
+        names = [e.name for e in cell.circuit.elements
+                 if e.name.startswith(RTN_SOURCE_PREFIX)]
+        assert names == ["Irtn_M1"]
+
+
+class TestCircuitEffect:
+    def test_injection_opposes_conduction(self):
+        """A large positive trace on M6 (the NMOS holding Q low) reduces
+        its pulldown: Q rises above 0 in the hold state."""
+        from repro.spice.transient import simulate_transient
+        cell = build_sram_cell()
+        baseline = simulate_transient(
+            cell.circuit, 2e-9, 1e-11,
+            initial_voltages=cell.initial_voltages(1))
+        q_clean = baseline.final("q")
+
+        cell2 = build_sram_cell()
+        # Holding a 1: M5 conducts (gate=Q=vdd) pulling QB low.  Oppose it.
+        attach_rtn_sources(cell2, {"M5": flat_trace(20e-6)})
+        disturbed = simulate_transient(
+            cell2.circuit, 2e-9, 1e-11,
+            initial_voltages=cell2.initial_voltages(1))
+        assert disturbed.final("qb") > baseline.final("qb") + 0.01
+        assert q_clean == pytest.approx(cell.vdd, abs=0.01)

@@ -1,0 +1,133 @@
+"""Tests for test-pattern stimulus generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sram.patterns import Operation, build_pattern_waveforms, write_pattern
+from repro.sram.patterns import TestPattern as Pattern  # alias: pytest must not collect it
+
+
+class TestOperation:
+    def test_write_needs_bit(self):
+        with pytest.raises(SimulationError):
+            Operation("write")
+        with pytest.raises(SimulationError):
+            Operation("write", 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            Operation("erase")
+
+    def test_read_and_hold(self):
+        assert Operation("read").bit is None
+        assert Operation("hold").bit is None
+
+
+class TestPatternValidation:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Pattern(operations=())
+        with pytest.raises(SimulationError):
+            Pattern(operations=(Operation("hold"),), initial_bit=2)
+        with pytest.raises(SimulationError):
+            Pattern(operations=(Operation("hold"),), cycle=-1.0)
+        with pytest.raises(SimulationError):
+            # WL pulse does not fit in the cycle.
+            Pattern(operations=(Operation("hold"),), cycle=5e-9,
+                        wl_delay=2e-9, wl_width=4e-9)
+
+    def test_duration(self):
+        pattern = write_pattern([1, 0, 1], cycle=10e-9)
+        assert pattern.duration == pytest.approx(30e-9)
+
+    def test_write_pattern_factory(self):
+        pattern = write_pattern([1, 0])
+        assert [op.kind for op in pattern.operations] == ["write", "write"]
+        assert [op.bit for op in pattern.operations] == [1, 0]
+
+
+class TestSchedule:
+    def test_expected_bits_track_writes(self):
+        pattern = write_pattern([1, 1, 0], initial_bit=0)
+        schedule = pattern.schedule()
+        assert [item.expected_bit for item in schedule] == [1, 1, 0]
+
+    def test_reads_and_holds_keep_bit(self):
+        pattern = Pattern(operations=(
+            Operation("write", 1), Operation("read"), Operation("hold"),
+            Operation("write", 0), Operation("read"),
+        ))
+        schedule = pattern.schedule()
+        assert [item.expected_bit for item in schedule] == [1, 1, 1, 0, 0]
+
+    def test_wl_windows_inside_slots(self):
+        pattern = write_pattern([1, 0], cycle=10e-9, wl_delay=2e-9,
+                                wl_width=4e-9)
+        for item in pattern.schedule():
+            assert item.t_start <= item.wl_on < item.wl_off <= item.t_end
+
+    def test_hold_has_no_wl_pulse(self):
+        pattern = Pattern(operations=(Operation("hold"),))
+        item = pattern.schedule()[0]
+        assert item.wl_on == item.wl_off == item.t_start
+
+
+class TestWaveformBuilding:
+    def test_bitline_levels_write_one(self):
+        pattern = write_pattern([1], cycle=10e-9, wl_delay=2e-9)
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        # After bitlines settle, BL=vdd and BLB=0 for a write-1.
+        assert waves.bl(1e-9) == pytest.approx(1.0)
+        assert waves.blb(1e-9) == pytest.approx(0.0)
+
+    def test_bitline_levels_write_zero(self):
+        pattern = write_pattern([0], cycle=10e-9, wl_delay=2e-9)
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        assert waves.bl(1e-9) == pytest.approx(0.0)
+        assert waves.blb(1e-9) == pytest.approx(1.0)
+
+    def test_read_precharges_both(self):
+        pattern = Pattern(operations=(Operation("read"),))
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        item = waves.schedule[0]
+        mid_wl = 0.5 * (item.wl_on + item.wl_off)
+        assert waves.bl(mid_wl) == pytest.approx(1.0)
+        assert waves.blb(mid_wl) == pytest.approx(1.0)
+        assert waves.wl(mid_wl) == pytest.approx(1.0)
+
+    def test_wl_low_outside_pulse(self):
+        pattern = write_pattern([1, 0], cycle=10e-9, wl_delay=2e-9,
+                                wl_width=4e-9)
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        for item in waves.schedule:
+            assert waves.wl(item.t_start + 0.5e-9) == pytest.approx(0.0)
+            assert waves.wl(item.t_end - 0.5e-9) == pytest.approx(0.0)
+            mid = 0.5 * (item.wl_on + item.wl_off)
+            assert waves.wl(mid) == pytest.approx(1.0)
+
+    def test_hold_keeps_everything_low(self):
+        pattern = Pattern(operations=(Operation("hold"),))
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        mid = pattern.cycle / 2
+        assert waves.wl(mid) == 0.0
+        assert waves.bl(mid) == 0.0
+        assert waves.blb(mid) == 0.0
+
+    def test_vdd_validation(self):
+        with pytest.raises(SimulationError):
+            build_pattern_waveforms(write_pattern([1]), vdd=0.0)
+
+    def test_suggested_dt_resolves_edges(self):
+        pattern = write_pattern([1], edge_time=0.2e-9)
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        assert waves.suggested_dt <= pattern.edge_time / 2
+
+    def test_multi_slot_sequence(self):
+        """Bitlines follow the data slot by slot."""
+        pattern = write_pattern([1, 0, 1], cycle=10e-9, wl_delay=2e-9)
+        waves = build_pattern_waveforms(pattern, vdd=1.0)
+        probe = [5e-9, 15e-9, 25e-9]
+        assert [round(float(waves.bl(t))) for t in probe] == [1, 0, 1]
+        assert [round(float(waves.blb(t))) for t in probe] == [0, 1, 0]

@@ -1,0 +1,94 @@
+"""Read-disturb prediction (paper footnote 2).
+
+"RTN-induced SRAM read failures have also been reported [16].  SAMURAI
+is capable of predicting these too" — the same methodology, with read
+slots in the pattern, must (a) leave a healthy cell's stored bit intact
+through reads, and (b) flag the read-upset when the cell is made
+read-unstable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.methodology import MethodologyConfig, run_methodology
+from repro.sram.cell import SramCellSpec
+from repro.sram.detectors import OpOutcome
+from repro.sram.margins import static_noise_margin
+from repro.sram.patterns import Operation
+from repro.sram.patterns import TestPattern as Pattern  # alias: pytest must not collect it
+
+
+def read_pattern() -> Pattern:
+    """Write a 1, read it twice, write a 0, read it."""
+    return Pattern(operations=(
+        Operation("write", 1), Operation("read"), Operation("read"),
+        Operation("write", 0), Operation("read"),
+    ), cycle=5e-9, wl_delay=1e-9, wl_width=2e-9)
+
+
+class TestHealthyCellReads:
+    def test_reads_preserve_the_bit(self):
+        result = run_methodology(
+            read_pattern(), np.random.default_rng(3),
+            spec=SramCellSpec(),
+            config=MethodologyConfig(rtn_scale=1.0, record_every=2))
+        assert all(r.outcome is OpOutcome.OK for r in result.clean_results)
+        kinds = [r.kind for r in result.clean_results]
+        assert kinds == ["write", "read", "read", "write", "read"]
+        # The reads carry the expected stored bit forward.
+        assert [r.expected_bit for r in result.clean_results] == \
+            [1, 1, 1, 0, 0]
+
+
+class TestReadDisturbBump:
+    """With hard-driven bitlines (our read model), the disturb appears
+    as the classic read *bump* on the low node — its size is set by the
+    pass/pull-down ratio.  A full flip additionally needs floating
+    bitline dynamics (sense-amp model), which this model deliberately
+    bounds out: M2 clamps the high node for the whole read."""
+
+    @staticmethod
+    def read_bump(spec: SramCellSpec) -> float:
+        pattern = Pattern(operations=(
+            Operation("write", 0), Operation("read"),
+        ), cycle=5e-9, wl_delay=1e-9, wl_width=2e-9)
+        result = run_methodology(
+            pattern, np.random.default_rng(3), spec=spec,
+            config=MethodologyConfig(rtn_scale=0.0, record_every=2))
+        read = pattern.schedule()[1]
+        window = result.clean_waveform.window(read.wl_on, read.wl_off)
+        return float(window["q"].max())
+
+    def test_weak_cell_has_reduced_read_margin(self):
+        weak = SramCellSpec(pulldown_factor=0.4, pass_factor=1.4,
+                            node_capacitance=2e-15)
+        snm_read = static_noise_margin(weak, mode="read", points=41)
+        snm_healthy = static_noise_margin(SramCellSpec(), mode="read",
+                                          points=41)
+        assert snm_read < 0.6 * snm_healthy
+
+    def test_bump_grows_as_beta_ratio_inverts(self):
+        healthy = self.read_bump(SramCellSpec(node_capacitance=2e-15))
+        weak = self.read_bump(SramCellSpec(
+            pulldown_factor=0.4, pass_factor=1.4, node_capacitance=2e-15))
+        very_weak = self.read_bump(SramCellSpec(
+            pulldown_factor=0.15, pass_factor=2.5, node_capacitance=2e-15))
+        assert healthy < weak < very_weak
+        # The healthy cell's bump stays far from the trip point.
+        assert healthy < 0.25 * SramCellSpec().supply
+
+    def test_cell_recovers_after_the_read(self):
+        """Even the grossly mis-sized cell recovers once WL falls — the
+        hard-driven-bitline read bounds the disturb below a flip."""
+        pattern = Pattern(operations=(
+            Operation("write", 0), Operation("read"),
+        ), cycle=5e-9, wl_delay=1e-9, wl_width=2e-9)
+        result = run_methodology(
+            pattern, np.random.default_rng(3),
+            spec=SramCellSpec(pulldown_factor=0.15, pass_factor=2.5,
+                              node_capacitance=2e-15),
+            config=MethodologyConfig(rtn_scale=0.0, record_every=2))
+        assert result.clean_results[1].outcome is OpOutcome.OK
+        assert result.clean_waveform.final("q") < 0.05

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.seed == 2
+        assert args.scale == 30.0
+
+
+class TestCommands:
+    def test_cards(self, capsys):
+        assert main(["cards"]) == 0
+        out = capsys.readouterr().out
+        assert "90nm" in out and "22nm" in out
+        assert "t_ox" in out
+
+    def test_traps(self, capsys):
+        assert main(["traps", "--tech", "45nm", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Sampled trap population" in out
+        assert "Poisson mean" in out
+
+    def test_snm(self, capsys):
+        assert main(["snm", "--tech", "90nm"]) == 0
+        out = capsys.readouterr().out
+        assert "hold" in out and "read" in out
+
+    def test_retention(self, capsys):
+        assert main(["retention", "--trials", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "VRT scan" in out
+        assert "frozen-state levels" in out
+
+    def test_fig8_exit_code_signals_compromise(self, capsys):
+        # Scale 0: clean, exit 0.
+        assert main(["fig8", "--seed", "2", "--scale", "0"]) == 0
+        # Scale 30 with the pinned seed: compromised, exit 2.
+        assert main(["fig8", "--seed", "2", "--scale", "30"]) == 2
+        out = capsys.readouterr().out
+        assert "cell compromised: True" in out

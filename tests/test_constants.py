@@ -1,0 +1,61 @@
+"""Tests for physical constants and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import (
+    EPS_SIO2,
+    K_BOLTZMANN,
+    Q_ELECTRON,
+    fermi_potential,
+    thermal_energy,
+    thermal_energy_ev,
+    thermal_voltage,
+)
+
+
+class TestThermalQuantities:
+    def test_room_temperature_value(self):
+        """kT/q ~ 25.85 mV at 300 K — the number everyone remembers."""
+        assert thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-4)
+
+    def test_default_is_room(self):
+        assert thermal_voltage() == thermal_voltage(300.0)
+
+    def test_scales_linearly(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2 * thermal_voltage(300.0))
+
+    def test_energy_consistency(self):
+        assert thermal_energy(300.0) == pytest.approx(
+            thermal_voltage(300.0) * Q_ELECTRON)
+        assert thermal_energy_ev(300.0) == pytest.approx(
+            thermal_voltage(300.0))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            thermal_energy(-1.0)
+
+
+class TestFermiPotential:
+    def test_typical_doping(self):
+        """5e17 cm^-3 p-substrate: phi_F ~ 0.46 V."""
+        assert fermi_potential(5e23) == pytest.approx(0.458, abs=0.01)
+
+    def test_monotone_in_doping(self):
+        assert fermi_potential(1e24) > fermi_potential(1e23)
+
+    def test_rejects_intrinsic(self):
+        with pytest.raises(ValueError):
+            fermi_potential(1e15)
+
+
+class TestValues:
+    def test_oxide_permittivity(self):
+        assert EPS_SIO2 == pytest.approx(3.9 * 8.8541878128e-12)
+
+    def test_boltzmann(self):
+        assert K_BOLTZMANN == 1.380649e-23

@@ -1,0 +1,129 @@
+"""Tests for the surface-potential and trap-energy band model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import thermal_voltage
+from repro.devices.technology import TECH_22NM, TECH_90NM
+from repro.errors import ModelError
+from repro.traps.band import (
+    body_factor,
+    crossing_energy,
+    oxide_voltage,
+    surface_potential,
+    trap_energy_offset,
+)
+from repro.traps.trap import Trap
+
+
+class TestSurfacePotential:
+    def test_clamps_below_flatband(self):
+        assert surface_potential(TECH_90NM.v_fb - 0.5, TECH_90NM) == 0.0
+        assert surface_potential(TECH_90NM.v_fb, TECH_90NM) == 0.0
+
+    def test_solves_implicit_equation(self):
+        """The returned psi_s satisfies the charge-sheet equation."""
+        tech = TECH_90NM
+        v_gb = 0.7
+        psi = surface_potential(v_gb, tech)
+        v_t = thermal_voltage(tech.temperature)
+        charge = psi + v_t * np.exp((psi - 2 * tech.phi_f) / v_t)
+        residual = psi + body_factor(tech) * np.sqrt(charge) - (v_gb - tech.v_fb)
+        assert abs(residual) < 1e-9
+
+    def test_monotone_in_bias(self):
+        v = np.linspace(-0.5, 1.5, 100)
+        psi = surface_potential(v, TECH_90NM)
+        assert np.all(np.diff(psi) >= 0.0)
+
+    def test_saturates_near_strong_inversion(self):
+        """psi_s pins close to 2 phi_F + a few V_t in strong inversion."""
+        tech = TECH_90NM
+        psi_1 = surface_potential(tech.vdd, tech)
+        psi_2 = surface_potential(tech.vdd + 0.5, tech)
+        assert psi_2 - psi_1 < 0.1
+        assert psi_1 > 2 * tech.phi_f
+
+    def test_vectorised_matches_scalar(self):
+        v = np.array([0.0, 0.4, 0.9])
+        vec = surface_potential(v, TECH_90NM)
+        scal = [surface_potential(x, TECH_90NM) for x in v]
+        assert np.allclose(vec, scal)
+
+    @settings(max_examples=50, deadline=None)
+    @given(v_gb=st.floats(min_value=-1.0, max_value=2.0))
+    def test_property_bounded_by_drive(self, v_gb):
+        """0 <= psi_s <= V_gb - V_fb always."""
+        psi = surface_potential(v_gb, TECH_90NM)
+        assert psi >= 0.0
+        assert psi <= max(0.0, v_gb - TECH_90NM.v_fb) + 1e-12
+
+
+class TestOxideVoltage:
+    def test_positive_above_flatband(self):
+        assert oxide_voltage(0.5, TECH_90NM) > 0.0
+
+    def test_increases_with_bias(self):
+        v = np.linspace(0.0, 1.2, 30)
+        vox = oxide_voltage(v, TECH_90NM)
+        assert np.all(np.diff(vox) > 0.0)
+
+
+class TestTrapEnergyOffset:
+    def test_decreases_with_bias(self):
+        """Higher gate bias pulls E_T below E_F (trap wants to fill)."""
+        trap = Trap(y_tr=1.0e-9, e_tr=1.0)
+        v = np.linspace(0.0, 1.0, 50)
+        offset = trap_energy_offset(v, trap, TECH_90NM)
+        assert np.all(np.diff(offset) < 0.0)
+
+    def test_deeper_trap_couples_more(self):
+        """dE/dVgs is stronger for a trap closer to the gate."""
+        shallow = Trap(y_tr=0.2e-9, e_tr=1.0)
+        deep = Trap(y_tr=1.8e-9, e_tr=1.0)
+        swing_shallow = (trap_energy_offset(0.0, shallow, TECH_90NM)
+                         - trap_energy_offset(1.0, shallow, TECH_90NM))
+        swing_deep = (trap_energy_offset(0.0, deep, TECH_90NM)
+                      - trap_energy_offset(1.0, deep, TECH_90NM))
+        assert swing_deep > swing_shallow
+
+    def test_rejects_trap_outside_oxide(self):
+        with pytest.raises(ModelError):
+            trap_energy_offset(0.5, Trap(y_tr=5e-9, e_tr=1.0), TECH_90NM)
+
+    def test_offset_at_crossing_energy_is_zero(self):
+        y = 1.2e-9
+        v_gs = 0.6
+        e_cross = crossing_energy(v_gs, y, TECH_90NM)
+        trap = Trap(y_tr=y, e_tr=e_cross)
+        assert trap_energy_offset(v_gs, trap, TECH_90NM) == \
+            pytest.approx(0.0, abs=1e-9)
+
+
+class TestCrossingEnergy:
+    def test_increases_with_bias(self):
+        v = np.linspace(0.0, 1.0, 20)
+        e = crossing_energy(v, 1.0e-9, TECH_90NM)
+        assert np.all(np.diff(e) > 0.0)
+
+    def test_window_spans_reasonable_band(self):
+        """The 0..Vdd crossing window is a fraction of an eV wide."""
+        lo = crossing_energy(0.0, 1.0e-9, TECH_90NM)
+        hi = crossing_energy(TECH_90NM.vdd, 1.0e-9, TECH_90NM)
+        assert 0.05 < hi - lo < 1.5
+
+    def test_depth_validation(self):
+        with pytest.raises(ModelError):
+            crossing_energy(0.5, 0.0, TECH_90NM)
+        with pytest.raises(ModelError):
+            crossing_energy(0.5, 1e-8, TECH_90NM)
+
+    def test_other_technology(self):
+        # Same machinery must hold for the thinnest-oxide card.
+        lo = crossing_energy(0.0, 0.5e-9, TECH_22NM)
+        hi = crossing_energy(TECH_22NM.vdd, 0.5e-9, TECH_22NM)
+        assert hi > lo

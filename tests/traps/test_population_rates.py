@@ -1,0 +1,48 @@
+"""Tests for the vectorised population-rate fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.technology import TECH_90NM
+from repro.errors import ModelError
+from repro.traps.propensity import rates_for_population, rates_from_bias
+from repro.traps.trap import Trap
+
+
+class TestPopulationRates:
+    def test_empty_population(self):
+        lam_c, lam_e = rates_for_population(0.5, [], TECH_90NM)
+        assert lam_c.size == 0 and lam_e.size == 0
+
+    def test_matches_scalar_path(self, rng):
+        traps = [Trap(y_tr=float(rng.uniform(0.1e-9, 1.9e-9)),
+                      e_tr=float(rng.uniform(0.5, 1.5)),
+                      degeneracy=float(rng.uniform(1.0, 4.0)))
+                 for _ in range(20)]
+        for v_gs in (0.0, 0.4, 0.8, 1.0):
+            lam_c, lam_e = rates_for_population(v_gs, traps, TECH_90NM)
+            for index, trap in enumerate(traps):
+                sc, se = rates_from_bias(v_gs, trap, TECH_90NM)
+                assert lam_c[index] == pytest.approx(sc, rel=1e-9, abs=1e-12)
+                assert lam_e[index] == pytest.approx(se, rel=1e-9, abs=1e-12)
+
+    def test_depth_validation(self):
+        with pytest.raises(ModelError):
+            rates_for_population(0.5, [Trap(y_tr=5e-9, e_tr=1.0)],
+                                 TECH_90NM)
+
+    @settings(max_examples=30, deadline=None)
+    @given(v_gs=st.floats(min_value=0.0, max_value=1.2),
+           y=st.floats(min_value=0.1e-9, max_value=1.9e-9),
+           e=st.floats(min_value=0.0, max_value=2.0))
+    def test_property_sum_preserved(self, v_gs, y, e):
+        """The population path preserves the Eq.-1 constant sum."""
+        trap = Trap(y_tr=y, e_tr=e)
+        lam_c, lam_e = rates_for_population(v_gs, [trap], TECH_90NM)
+        from repro.traps.propensity import propensity_sum
+        assert lam_c[0] + lam_e[0] == pytest.approx(
+            propensity_sum(trap, TECH_90NM), rel=1e-9)

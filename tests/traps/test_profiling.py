@@ -1,0 +1,147 @@
+"""Tests for the statistical trap profiler."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosfetParams
+from repro.devices.technology import TECH_22NM, TECH_90NM, TECH_180NM
+from repro.errors import ModelError
+from repro.traps.band import crossing_energy
+from repro.traps.profiling import TrapProfiler
+from repro.traps.propensity import propensity_sum
+
+
+class TestValidation:
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ModelError):
+            TrapProfiler(TECH_90NM, energy_margin=-0.1)
+
+    def test_rejects_bad_depth_fraction(self):
+        with pytest.raises(ModelError):
+            TrapProfiler(TECH_90NM, depth_fraction_min=0.0)
+        with pytest.raises(ModelError):
+            TrapProfiler(TECH_90NM, depth_fraction_min=1.0)
+
+    def test_rejects_bad_max_rate(self):
+        with pytest.raises(ModelError):
+            TrapProfiler(TECH_90NM, max_rate=0.0)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ModelError):
+            TrapProfiler(TECH_90NM).sample_fixed_count(rng, -1)
+
+    def test_infeasible_depth_constraints(self):
+        profiler = TrapProfiler(TECH_90NM, max_rate=1e-3)
+        with pytest.raises(ModelError):
+            profiler.depth_bounds()
+
+
+class TestSampling:
+    def test_poisson_mean_tracks_density(self, rng):
+        profiler = TrapProfiler(TECH_180NM)
+        nominal = MosfetParams.nominal(TECH_180NM)
+        counts = [len(profiler.sample(rng, nominal.width, nominal.length))
+                  for _ in range(20)]
+        expected = profiler.expected_count(nominal.width, nominal.length)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_scaled_node_has_few_traps(self, rng):
+        profiler = TrapProfiler(TECH_22NM)
+        nominal = MosfetParams.nominal(TECH_22NM)
+        counts = [len(profiler.sample(rng, nominal.width, nominal.length))
+                  for _ in range(50)]
+        assert np.mean(counts) < 10.0  # "only about 5-10 traps are active"
+
+    def test_depths_within_bounds(self, rng):
+        profiler = TrapProfiler(TECH_90NM)
+        traps = profiler.sample_fixed_count(rng, 200)
+        y_min, y_max = profiler.depth_bounds()
+        for trap in traps:
+            assert y_min <= trap.y_tr <= y_max
+
+    def test_energies_within_active_window(self, rng):
+        profiler = TrapProfiler(TECH_90NM)
+        traps = profiler.sample_fixed_count(rng, 100)
+        for trap in traps:
+            e_lo, e_hi = profiler.energy_bounds(trap.y_tr)
+            assert e_lo <= trap.e_tr <= e_hi
+
+    def test_max_rate_cap_enforced(self, rng):
+        profiler = TrapProfiler(TECH_90NM, max_rate=1e6)
+        traps = profiler.sample_fixed_count(rng, 100)
+        for trap in traps:
+            assert propensity_sum(trap, TECH_90NM) <= 1e6 * (1 + 1e-9)
+
+    def test_labels(self, rng):
+        traps = TrapProfiler(TECH_90NM).sample_fixed_count(
+            rng, 3, label_prefix="m1_t")
+        assert [t.label for t in traps] == ["m1_t0", "m1_t1", "m1_t2"]
+
+    def test_reproducible(self, rng_factory):
+        profiler = TrapProfiler(TECH_90NM)
+        a = profiler.sample(rng_factory(5), 2e-7, 1e-7)
+        b = profiler.sample(rng_factory(5), 2e-7, 1e-7)
+        assert [(t.y_tr, t.e_tr) for t in a] == [(t.y_tr, t.e_tr) for t in b]
+
+    def test_time_constants_span_decades(self, rng):
+        """Uniform depth must spread propensity sums over many decades
+        (the precondition for 1/f superposition in Fig. 3 left)."""
+        profiler = TrapProfiler(TECH_180NM)
+        traps = profiler.sample_fixed_count(rng, 500)
+        rates = np.array([propensity_sum(t, TECH_180NM) for t in traps])
+        assert np.log10(rates.max() / rates.min()) > 6.0
+
+
+class TestInitialStates:
+    def test_low_bias_mostly_empty(self, rng):
+        """At v_gs = 0 the sampled population is mostly above E_F."""
+        profiler = TrapProfiler(TECH_90NM, energy_margin=0.0)
+        traps = profiler.sample_fixed_count(rng, 300)
+        states = profiler.initial_states(rng, traps, 0.0)
+        assert np.mean(states) < 0.3
+
+    def test_high_bias_mostly_filled(self, rng):
+        profiler = TrapProfiler(TECH_90NM, energy_margin=0.0)
+        traps = profiler.sample_fixed_count(rng, 300)
+        states = profiler.initial_states(rng, traps, TECH_90NM.vdd)
+        assert np.mean(states) > 0.7
+
+    def test_states_are_binary(self, rng):
+        profiler = TrapProfiler(TECH_90NM)
+        traps = profiler.sample_fixed_count(rng, 50)
+        states = profiler.initial_states(rng, traps, 0.5)
+        assert set(states) <= {0, 1}
+
+
+class TestSummary:
+    def test_empty_population(self):
+        assert TrapProfiler(TECH_90NM).summarise([])["count"] == 0
+
+    def test_summary_fields(self, rng):
+        profiler = TrapProfiler(TECH_90NM)
+        traps = profiler.sample_fixed_count(rng, 10)
+        summary = profiler.summarise(traps)
+        assert summary["count"] == 10
+        assert summary["rate_min"] <= summary["rate_max"]
+        assert summary["depth_min"] <= summary["depth_max"]
+
+
+class TestEnergyWindows:
+    def test_window_widens_with_margin(self):
+        tight = TrapProfiler(TECH_90NM, energy_margin=0.0)
+        wide = TrapProfiler(TECH_90NM, energy_margin=0.3)
+        lo_t, hi_t = tight.energy_bounds(1.0e-9)
+        lo_w, hi_w = wide.energy_bounds(1.0e-9)
+        assert lo_w == pytest.approx(lo_t - 0.3)
+        assert hi_w == pytest.approx(hi_t + 0.3)
+
+    def test_window_matches_crossings(self):
+        profiler = TrapProfiler(TECH_90NM, energy_margin=0.0)
+        y = 1.0e-9
+        lo, hi = profiler.energy_bounds(y)
+        assert lo == pytest.approx(crossing_energy(0.0, y, TECH_90NM))
+        assert hi == pytest.approx(crossing_energy(TECH_90NM.vdd, y, TECH_90NM))
