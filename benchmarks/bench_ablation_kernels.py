@@ -51,7 +51,7 @@ def _empirical_occupancy(simulate_one, n_runs: int = N_RUNS) -> np.ndarray:
 
 
 def test_a1_uniformisation_matches_exact_solvers(benchmark, rng, out_dir):
-    propensity = CallableTwoStatePropensity(_capture, _emission,
+    propensity = CallableTwoStatePropensity(capture_fn=_capture, emission_fn=_emission,
                                             rate_bound=TOTAL_RATE)
 
     def uniformisation_batch():
@@ -109,7 +109,7 @@ def test_a2_ye_baseline_cannot_track_bias(benchmark, rng, out_dir):
     def emission(t):
         return np.where(np.asarray(t) < t_switch, lam_hi[1], lam_lo[1])
 
-    propensity = CallableTwoStatePropensity(capture, emission,
+    propensity = CallableTwoStatePropensity(capture_fn=capture, emission_fn=emission,
                                             rate_bound=total)
     probe_early = np.linspace(0.5 * t_switch, 0.99 * t_switch, 16)
     probe_late = np.linspace(1.5 * t_switch, 1.99 * t_switch, 16)
@@ -158,7 +158,7 @@ def test_a2_ye_baseline_cannot_track_bias(benchmark, rng, out_dir):
 def test_a3_rate_bound_costs_candidates_not_accuracy(benchmark, rng,
                                                      out_dir):
     lam_c, lam_e = 1200.0, 800.0
-    propensity = ConstantTwoStatePropensity(lam_c, lam_e)
+    propensity = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
     t_stop = 5.0
     inflations = (1.0, 3.0, 10.0)
 

@@ -1,0 +1,101 @@
+"""Scaling of the batched ensemble kernel vs the scalar Algorithm-1 loop.
+
+The api_redesign acceptance claim: at 1,000 traps one call to
+:func:`repro.markov.batch.simulate_traps_batch` must beat a Python loop
+of per-trap :func:`repro.markov.uniformization.simulate_trap` calls by
+**>= 10x** wall-clock.  The population uses SAMURAI-structured rates
+(non-stationary split, constant Eq.-1 sum) so the batch kernel's
+constant-sum fast path — the case the ensemble engine always hits — is
+what gets measured.
+
+Timing is warm best-of-N: the first call pays one-off costs (imports,
+allocator warm-up) that say nothing about throughput, so each
+measurement discards a warm-up round and keeps the minimum of three.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.report import format_table, write_csv
+from repro.markov.batch import BatchPropensity, simulate_traps_batch
+from repro.markov.uniformization import simulate_trap
+
+TRAP_COUNTS = (100, 300, 1000)
+SPEEDUP_FLOOR = 10.0
+T_STOP = 1.0
+GRID = np.linspace(0.0, T_STOP, 1001)
+REPS = 3
+
+
+def _population(n_traps: int, rng: np.random.Generator) -> BatchPropensity:
+    """SAMURAI-like rates: per-trap constant sums, bias-driven split."""
+    totals = rng.uniform(20.0, 80.0, size=n_traps)
+    # Square-wave bias: capture-dominated in even 0.1 s slots.
+    frac = np.where((GRID * 10).astype(int) % 2 == 0, 0.8, 0.2)
+    capture = totals[:, None] * frac[None, :]
+    return BatchPropensity(times=GRID, capture=capture,
+                           emission=totals[:, None] - capture)
+
+
+def _best_of(fn, reps: int = REPS) -> float:
+    fn()  # warm-up: exclude first-touch costs from the measurement
+    best = np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_pair(n_traps: int, rng_factory) -> tuple:
+    batch = _population(n_traps, rng_factory(n_traps))
+
+    def batched():
+        simulate_traps_batch(batch, 0.0, T_STOP, rng_factory(1))
+
+    singles = [batch.single(k) for k in range(n_traps)]
+
+    def scalar_loop():
+        rng = rng_factory(1)
+        for prop in singles:
+            simulate_trap(prop, 0.0, T_STOP, rng)
+
+    return _best_of(batched), _best_of(scalar_loop)
+
+
+def _rng_factory(seed: int) -> np.random.Generator:
+    return np.random.default_rng(20110314 + seed)
+
+
+def test_batch_kernel_speedup_scaling(benchmark, out_dir):
+    rng_factory = _rng_factory
+    rows, series = [], []
+    speedups = {}
+    for n_traps in TRAP_COUNTS:
+        t_batch, t_scalar = _time_pair(n_traps, rng_factory)
+        speedup = t_scalar / t_batch
+        speedups[n_traps] = speedup
+        rows.append([n_traps, f"{t_batch * 1e3:.1f}",
+                     f"{t_scalar * 1e3:.1f}", f"{speedup:.1f}x"])
+        series.append((n_traps, t_batch, t_scalar, speedup))
+    print()
+    print(format_table(
+        ["traps", "batch [ms]", "scalar loop [ms]", "speedup"], rows,
+        title="Batched kernel scaling (warm best-of-%d)" % REPS))
+    write_csv(f"{out_dir}/ensemble_scaling.csv",
+              ["n_traps", "t_batch_s", "t_scalar_s", "speedup"], series)
+
+    # The headline acceptance claim.
+    assert speedups[1000] >= SPEEDUP_FLOOR, (
+        f"batch kernel only {speedups[1000]:.1f}x faster than the scalar "
+        f"loop at 1000 traps (floor {SPEEDUP_FLOOR:g}x)")
+    # Batching should not *lose* ground as the population grows.
+    assert speedups[1000] > speedups[100] / 2.0
+
+    # Representative kernel call through pytest-benchmark.
+    batch = _population(1000, rng_factory(1000))
+    benchmark(lambda: simulate_traps_batch(
+        batch, 0.0, T_STOP, np.random.default_rng(1)))

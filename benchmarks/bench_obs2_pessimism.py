@@ -49,7 +49,7 @@ def _low_frequency_power(trap: Trap, duty: float, switch_frequency: float,
     on_phase = (times % period) < duty * period
     v_gs = np.where(on_phase, V_ON, V_OFF)
     lam_c, lam_e = rates_from_bias(v_gs, trap, tech)
-    propensity = SampledTwoStatePropensity(times, lam_c, lam_e)
+    propensity = SampledTwoStatePropensity(times=times, capture_values=lam_c, emission_values=lam_e)
     trace = simulate_trap(propensity, 0.0, t_stop, rng)
     current = trace.sample(times).astype(float) * on_phase
     dt = t_stop / (N_SAMPLES - 1)

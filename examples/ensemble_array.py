@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Array-scale write-error prediction with the batched ensemble engine.
+
+The paper's outlook asks for "predicting the bit-error impact of RTN on
+entire SRAM arrays".  This example runs :class:`repro.api.EnsembleRunner`
+on a small array at the paper's x30 acceleration: one clean SPICE pass,
+a single vectorised trap sweep per transistor covering *every* cell,
+screening by peak relative RTN current, and injected SPICE verification
+of the most-threatened cells only.
+
+Run:  python examples/ensemble_array.py      (~1 minute)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import EnsembleConfig, EnsembleRunner
+from repro.core.experiments import FIG8_RTN_SCALE, fig8_cell_spec, fig8_pattern
+from repro.core.report import format_table
+
+N_CELLS = 24
+SEED = 7
+
+config = EnsembleConfig(
+    n_cells=N_CELLS,
+    spec=fig8_cell_spec(),
+    pattern=fig8_pattern(),
+    rtn_scale=FIG8_RTN_SCALE,
+    max_verified_cells=4,
+    margin_samples=4,
+)
+
+print(f"[1/2] running {N_CELLS}-cell ensemble (seed {SEED}) ...")
+result = EnsembleRunner(config).run(np.random.default_rng(SEED))
+
+summary = result.summary()
+print(f"[2/2] {summary['traps']} traps simulated in "
+      f"{sum(s.n_candidates for s in result.kernel_stats.values())} "
+      f"batched candidates across 6 kernel calls")
+
+rows = []
+for outcome in sorted(result.outcomes, key=lambda o: -o.screen_metric)[:8]:
+    rows.append([
+        f"cell {outcome.index}",
+        str(outcome.trap_count),
+        str(outcome.transitions),
+        f"{outcome.screen_metric:.3f}",
+        "yes" if outcome.verified else "-",
+        str(outcome.rtn_failures) if outcome.verified else "-",
+    ])
+print(format_table(
+    ["cell", "traps", "transitions", "screen", "verified", "failures"],
+    rows))
+print(f"flagged {summary['flagged']}/{summary['cells']} cells, "
+      f"verified {summary['verified']}, failing {summary['failing']}")
+print(f"nominal hold SNM: {summary['nominal_snm_hold']*1e3:.0f} mV; "
+      f"sampled cell SNMs: "
+      + ", ".join(f"{v*1e3:.0f} mV" for v in result.snm_samples()))

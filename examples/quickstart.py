@@ -21,8 +21,8 @@ from repro.analysis import summarise_dwells
 from repro.core.report import format_table, sparkline
 from repro.devices import MosfetParams, TECH_90NM, drain_current
 from repro.markov import stationary_occupancy
-from repro.rtn import generate_device_rtn
-from repro.traps import Trap, crossing_energy, rates_from_bias
+from repro.api import Trap, generate_device_rtn
+from repro.traps import crossing_energy, rates_from_bias
 
 rng = np.random.default_rng(2011)
 tech = TECH_90NM

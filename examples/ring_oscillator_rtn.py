@@ -25,7 +25,8 @@ from repro.oscillators import (
     run_ring_with_rtn,
 )
 from repro.spice.transient import TransientOptions, simulate_transient
-from repro.traps import Trap, crossing_energy
+from repro.api import Trap
+from repro.traps import crossing_energy
 from repro.traps.propensity import propensity_sum
 
 RTN_SCALE = 150.0  # accelerated, as in the paper's Fig. 8 (x30 there)

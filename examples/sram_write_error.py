@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import run_methodology
+from repro.api import run_methodology
 from repro.core.experiments import (
     FIG8_RTN_SCALE,
     fig8_cell_spec,

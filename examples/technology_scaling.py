@@ -21,7 +21,8 @@ from repro.devices import MosfetParams, TECH_22NM, TECH_180NM
 from repro.devices.ekv import saturation_current
 from repro.markov.analytic import superposed_lorentzian_psd
 from repro.rtn.current import VanDerZielModel
-from repro.traps import TrapProfiler, rates_from_bias
+from repro.api import TrapProfiler
+from repro.traps import rates_from_bias
 
 rng = np.random.default_rng(42)
 freq = np.logspace(1.0, 7.0, 120)

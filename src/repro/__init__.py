@@ -20,10 +20,14 @@ system:
 - :mod:`repro.core` — the SAMURAI engine and the SPICE→SAMURAI→SPICE
   methodology pipeline (paper Fig. 8), plus extensions.
 - :mod:`repro.analysis` — autocorrelation/PSD estimation and fitting.
+
+The supported entry points are collected in :mod:`repro.api`::
+
+    from repro.api import EnsembleConfig, EnsembleRunner
 """
 
 __version__ = "1.0.0"
 
-from . import constants, errors, units
+from . import api, constants, errors, units
 
-__all__ = ["constants", "errors", "units", "__version__"]
+__all__ = ["api", "constants", "errors", "units", "__version__"]

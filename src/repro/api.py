@@ -1,0 +1,92 @@
+"""The blessed public surface of the SAMURAI reproduction.
+
+``from repro.api import ...`` is the documented way into the library:
+everything here is covered by the statistical-equivalence and surface
+tests and is kept stable across refactors, whereas deep submodule paths
+(``repro.markov.uniformization`` etc.) may move.
+
+Imports are lazy (PEP 562): touching one name does not pull in the
+SPICE engine, scipy-heavy trap physics or the SRAM stack until that
+name is actually used, so ``import repro`` stays cheap for scripts that
+only need a kernel.
+
+The surface, by workflow:
+
+Kernels (paper Algorithm 1)
+    :func:`simulate_trap`, :func:`simulate_traps_batch`,
+    :class:`OccupancyTrace`, :class:`BatchPropensity`,
+    :func:`make_propensity`, :class:`UniformizationStats`
+Trap physics (paper Eqs. 1-2)
+    :class:`Trap`, :class:`TrapProfiler`, :func:`population_propensity`,
+    :func:`trap_propensity`
+RTN synthesis (paper Eq. 3)
+    :func:`generate_device_rtn`, :func:`generate_device_rtn_batch`,
+    :class:`RTNTrace`
+Cell & methodology (paper Fig. 8)
+    :func:`run_methodology`, :class:`MethodologyConfig`,
+    :class:`Samurai`, :class:`SramCellSpec`, :func:`write_pattern`,
+    :func:`get_technology`, :func:`static_noise_margin`
+Array-scale Monte-Carlo
+    :class:`EnsembleRunner`, :class:`EnsembleConfig`,
+    :class:`EnsembleResult`, :func:`simulate_array`,
+    :func:`simulate_array_fast`
+"""
+
+from __future__ import annotations
+
+#: name -> "module:attribute" — the single source of truth for the
+#: public surface; ``__getattr__`` resolves through it lazily.
+_EXPORTS = {
+    # Kernels.
+    "simulate_trap": "repro.markov.uniformization:simulate_trap",
+    "simulate_traps_batch": "repro.markov.batch:simulate_traps_batch",
+    "OccupancyTrace": "repro.markov.occupancy:OccupancyTrace",
+    "BatchPropensity": "repro.markov.batch:BatchPropensity",
+    "UniformizationStats": "repro.markov.uniformization:UniformizationStats",
+    "make_propensity": "repro.markov.propensity:make_propensity",
+    # Trap physics.
+    "Trap": "repro.traps.trap:Trap",
+    "TrapProfiler": "repro.traps.profiling:TrapProfiler",
+    "trap_propensity": "repro.traps.propensity:trap_propensity",
+    "population_propensity": "repro.traps.propensity:population_propensity",
+    # RTN synthesis.
+    "generate_device_rtn": "repro.rtn.generator:generate_device_rtn",
+    "generate_device_rtn_batch":
+        "repro.rtn.generator:generate_device_rtn_batch",
+    "RTNTrace": "repro.rtn.trace:RTNTrace",
+    # Cell & methodology.
+    "get_technology": "repro.devices.technology:get_technology",
+    "SramCellSpec": "repro.sram.cell:SramCellSpec",
+    "write_pattern": "repro.sram.patterns:write_pattern",
+    "static_noise_margin": "repro.sram.margins:static_noise_margin",
+    "Samurai": "repro.core.samurai:Samurai",
+    "run_methodology": "repro.core.methodology:run_methodology",
+    "MethodologyConfig": "repro.core.methodology:MethodologyConfig",
+    # Array-scale Monte-Carlo.
+    "EnsembleRunner": "repro.core.ensemble:EnsembleRunner",
+    "EnsembleConfig": "repro.core.ensemble:EnsembleConfig",
+    "EnsembleResult": "repro.core.ensemble:EnsembleResult",
+    "simulate_array": "repro.sram.array:simulate_array",
+    "simulate_array_fast": "repro.sram.array:simulate_array_fast",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Resolve a blessed name on first access (PEP 562 lazy import)."""
+    try:
+        target = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.api' has no attribute {name!r}") from None
+    import importlib
+
+    module_name, attribute = target.split(":")
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: subsequent accesses skip this hook
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -4,6 +4,7 @@ Small, scriptable entry points over the library's main flows:
 
 - ``cards`` — list the technology cards;
 - ``fig8`` — run the paper's Fig.-8 methodology and print verdicts;
+- ``ensemble`` — batched array-scale Monte-Carlo write-error prediction;
 - ``snm`` — static noise margins of a cell;
 - ``traps`` — sample and summarise a device's trap population;
 - ``retention`` — DRAM VRT retention scan.
@@ -22,7 +23,7 @@ from .core.report import format_table
 def _cmd_cards(args) -> int:
     from .devices.technology import TECHNOLOGIES
     rows = []
-    for name in ("180nm", "90nm", "45nm", "22nm"):
+    for name in TECHNOLOGIES:
         card = TECHNOLOGIES[name]
         rows.append([name, f"{card.t_ox * 1e9:.1f}", f"{card.vdd:.2f}",
                      f"{card.vt0_n:.2f}",
@@ -48,6 +49,43 @@ def _cmd_fig8(args) -> int:
         rows, title="Fig. 8 methodology verdicts"))
     print(f"cell compromised: {result.cell_compromised}")
     return 0 if not result.cell_compromised else 2
+
+
+def _cmd_ensemble(args) -> int:
+    from .core.ensemble import EnsembleConfig, EnsembleRunner
+    from .core.experiments import fig8_pattern
+    from .devices.technology import get_technology
+    from .sram.cell import SramCellSpec
+
+    spec = SramCellSpec(technology=get_technology(args.tech), vdd=args.vdd)
+    config = EnsembleConfig(
+        n_cells=args.cells, spec=spec, pattern=fig8_pattern(),
+        rtn_scale=args.scale, screen_threshold=args.threshold,
+        max_verified_cells=args.verify, workers=args.workers,
+        margin_samples=args.margins)
+    rng = np.random.default_rng(args.seed)
+    result = EnsembleRunner(config).run(rng)
+
+    top = sorted(result.outcomes, key=lambda o: -o.screen_metric)[:args.top]
+    rows = [[o.index, o.trap_count, o.transitions,
+             f"{o.screen_metric:.3f}",
+             "yes" if o.verified else "-",
+             o.rtn_failures if o.verified else "-"] for o in top]
+    print(format_table(
+        ["cell", "traps", "transitions", "screen", "verified", "failures"],
+        rows, title=f"Ensemble ({args.cells} cells, {args.tech}, "
+                    f"RTN x{args.scale:g}, seed {args.seed})"))
+    summary = result.summary()
+    candidates = sum(s.n_candidates for s in result.kernel_stats.values())
+    print(f"traps: {summary['traps']}  batched candidates: {candidates}")
+    print(f"flagged: {summary['flagged']}/{summary['cells']}  "
+          f"verified: {summary['verified']}  failing: {summary['failing']}")
+    print(f"nominal hold SNM: {summary['nominal_snm_hold'] * 1e3:.1f} mV")
+    if result.snm_samples().size:
+        samples = result.snm_samples() * 1e3
+        print(f"sampled hold SNM: mean {samples.mean():.1f} mV, "
+              f"sigma {samples.std():.1f} mV ({samples.size} cells)")
+    return 0 if result.failing_cells == 0 else 2
 
 
 def _cmd_snm(args) -> int:
@@ -121,6 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--scale", type=float, default=30.0,
                       help="RTN acceleration factor (paper uses 30)")
 
+    ensemble = sub.add_parser(
+        "ensemble", help="batched array-scale Monte-Carlo run")
+    ensemble.add_argument("--cells", type=int, default=64,
+                          help="number of cells in the ensemble")
+    ensemble.add_argument("--tech", default="90nm")
+    ensemble.add_argument("--vdd", type=float, default=None)
+    ensemble.add_argument("--seed", type=int, default=0)
+    ensemble.add_argument("--scale", type=float, default=30.0,
+                          help="RTN acceleration factor (paper uses 30)")
+    ensemble.add_argument("--threshold", type=float, default=0.02,
+                          help="screening metric above which a cell is "
+                               "flagged for SPICE verification")
+    ensemble.add_argument("--verify", type=int, default=4,
+                          help="max flagged cells to verify with SPICE")
+    ensemble.add_argument("--workers", type=int, default=None,
+                          help="processes for the verification passes")
+    ensemble.add_argument("--margins", type=int, default=0,
+                          help="cells to also solve a per-cell hold SNM for")
+    ensemble.add_argument("--top", type=int, default=10,
+                          help="rows to print in the per-cell table")
+
     snm = sub.add_parser("snm", help="static noise margins of a cell")
     snm.add_argument("--tech", default="90nm")
     snm.add_argument("--vdd", type=float, default=None)
@@ -138,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _HANDLERS = {
     "cards": _cmd_cards,
+    "ensemble": _cmd_ensemble,
     "fig8": _cmd_fig8,
     "snm": _cmd_snm,
     "traps": _cmd_traps,

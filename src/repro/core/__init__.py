@@ -5,6 +5,10 @@
   every transistor of a cell.
 - :mod:`repro.core.methodology` — the full flowchart: clean SPICE pass,
   bias extraction, SAMURAI, injection, second SPICE pass, verdicts.
+- :mod:`repro.core.ensemble` — the batched array-scale Monte-Carlo
+  driver (:class:`EnsembleRunner`): shared clean pass, one vectorised
+  kernel sweep per transistor across all cells, screened SPICE
+  verification.
 - :mod:`repro.core.coupled` — bi-directionally coupled RTN/circuit
   co-simulation (paper future-work #1).
 - :mod:`repro.core.report` — ASCII tables and CSV emission for the
@@ -12,6 +16,12 @@
 """
 
 from .coupled import CoupledResult, run_coupled
+from .ensemble import (
+    CellEnsembleOutcome,
+    EnsembleConfig,
+    EnsembleResult,
+    EnsembleRunner,
+)
 from .experiments import (
     FIG8_BITS,
     FIG8_RTN_SCALE,
@@ -23,7 +33,11 @@ from .methodology import MethodologyConfig, MethodologyResult, run_methodology
 from .samurai import Samurai
 
 __all__ = [
+    "CellEnsembleOutcome",
     "CoupledResult",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "EnsembleRunner",
     "FIG8_BITS",
     "FIG8_RTN_SCALE",
     "MethodologyConfig",

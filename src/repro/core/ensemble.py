@@ -1,0 +1,436 @@
+"""Array-scale Monte-Carlo RTN prediction on the batched kernel.
+
+:func:`repro.sram.array.simulate_array` runs the full two-SPICE-pass
+methodology per cell — exact but linear in cells *and* dominated by
+transient solves.  This module is the scalable path the paper's outlook
+asks for ("predicting the bit-error impact of RTN on entire SRAM
+arrays"): it amortises the SPICE work across the whole ensemble and
+pushes every stochastic trap simulation through
+:func:`repro.markov.batch.simulate_traps_batch`.
+
+The pipeline:
+
+1. **One clean SPICE pass** on the nominal cell extracts the per-
+   transistor bias records.  Threshold mismatch shifts each cell's
+   biases only weakly (Pelgrom sigmas are a few mV against a
+   VDD-scale drive), so the ensemble shares the nominal biases for RTN
+   *generation* — the *verification* pass (step 4) re-simulates flagged
+   cells with their own mismatched devices.
+2. **Population sampling**: every cell draws Pelgrom threshold shifts
+   and independent Poisson trap populations for its six transistors.
+3. **Batched RTN synthesis**: per transistor name, the trap populations
+   of *all* cells are concatenated into one
+   :class:`~repro.markov.batch.BatchPropensity` and simulated in a
+   single kernel call (six calls for the whole array), then split back
+   per cell and converted to Eq.-(3) current traces.  A screening
+   metric — the peak scaled RTN current relative to the peak nominal
+   channel current — ranks the cells.
+4. **Verification**: cells whose metric clears ``screen_threshold`` are
+   re-simulated through the real injected SPICE pass (with their own
+   ``vt_shifts``), optionally sharded across processes with
+   :mod:`concurrent.futures`, and classified into write errors exactly
+   like the per-cell methodology.
+5. **Margins**: the nominal static noise margin is computed once;
+   ``margin_samples`` adds a per-cell hold-SNM distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..markov.batch import simulate_traps_batch
+from ..markov.occupancy import number_filled
+from ..rtn.current import RtnAmplitudeModel, VanDerZielModel, rtn_current_samples
+from ..rtn.trace import RTNTrace
+from ..spice.transient import TransientOptions, simulate_transient
+from ..traps.propensity import (
+    equilibrium_occupancy_population,
+    population_propensity,
+)
+from .methodology import MethodologyConfig
+
+__all__ = [
+    "CellEnsembleOutcome",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "EnsembleRunner",
+]
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Knobs of one ensemble run.
+
+    Attributes
+    ----------
+    n_cells:
+        Number of independent cells in the ensemble.
+    spec:
+        Nominal cell; ``None`` uses the default 90 nm cell.
+    pattern:
+        Test pattern; ``None`` uses the paper's Fig.-8 write pattern.
+    rtn_scale:
+        RTN acceleration factor applied to every generated trace
+        (paper Fig. 8(e) uses 30).
+    avt:
+        Pelgrom coefficient [V m] for the threshold mismatch.
+    screen_threshold:
+        Cells whose peak scaled RTN current reaches this fraction of
+        the transistor's peak nominal current are flagged for SPICE
+        verification.
+    max_verified_cells:
+        Cap on how many flagged cells get the (expensive) verification
+        pass; the highest-metric cells go first.  ``None`` verifies all
+        flagged cells.
+    workers:
+        Process count for sharding the verification passes; ``None`` or
+        1 stays serial.
+    margin_samples:
+        How many cells also get a per-cell hold-SNM solve (0 disables).
+    methodology:
+        Knobs shared with the per-cell methodology (dt, amplitude model,
+        thresholds, nominal-current clipping).
+    """
+
+    n_cells: int
+    spec: object | None = None
+    pattern: object | None = None
+    rtn_scale: float = 1.0
+    avt: float | None = None
+    screen_threshold: float = 0.02
+    max_verified_cells: int | None = None
+    workers: int | None = None
+    margin_samples: int = 0
+    methodology: MethodologyConfig = field(default_factory=MethodologyConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_cells <= 0:
+            raise SimulationError("n_cells must be positive")
+        if self.rtn_scale < 0.0:
+            raise SimulationError("rtn_scale must be non-negative")
+        if not (0.0 <= self.screen_threshold):
+            raise SimulationError("screen_threshold must be non-negative")
+        if self.margin_samples < 0:
+            raise SimulationError("margin_samples must be non-negative")
+
+
+@dataclass
+class CellEnsembleOutcome:
+    """One cell of the ensemble.
+
+    Attributes
+    ----------
+    index:
+        Cell number.
+    vt_shifts:
+        Sampled per-transistor threshold offsets [V].
+    trap_count:
+        Traps across the cell's six transistors.
+    transitions:
+        Trap state changes across the simulated window.
+    screen_metric:
+        Peak scaled RTN current over peak nominal current, maximised
+        over the six transistors.
+    flagged:
+        The metric cleared the screening threshold.
+    verified:
+        The cell went through the injected SPICE pass.
+    rtn_failures:
+        Non-OK operations in the verification pass (0 when not
+        verified).
+    error_slots:
+        Pattern slots that erred in the verification pass.
+    snm_hold:
+        Per-cell hold static noise margin [V] (``None`` unless the cell
+        was margin-sampled).
+    """
+
+    index: int
+    vt_shifts: dict
+    trap_count: int
+    transitions: int
+    screen_metric: float
+    flagged: bool
+    verified: bool = False
+    rtn_failures: int = 0
+    error_slots: list = field(default_factory=list)
+    snm_hold: float | None = None
+
+
+@dataclass
+class EnsembleResult:
+    """Aggregated ensemble statistics.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-cell outcomes, in cell order.
+    n_slots:
+        Pattern slots per cell.
+    nominal_snm_hold:
+        Hold SNM of the unperturbed cell [V].
+    clean_failures:
+        Non-OK operations of the nominal clean pass (sanity check —
+        nonzero means the pattern fails even without RTN).
+    kernel_stats:
+        Transistor name -> aggregate
+        :class:`~repro.markov.uniformization.UniformizationStats` of the
+        batched sweep that simulated all cells' traps on that device.
+    """
+
+    outcomes: list = field(default_factory=list)
+    n_slots: int = 0
+    nominal_snm_hold: float = 0.0
+    clean_failures: int = 0
+    kernel_stats: dict = field(default_factory=dict)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_traps(self) -> int:
+        return sum(o.trap_count for o in self.outcomes)
+
+    @property
+    def flagged_cells(self) -> int:
+        return sum(1 for o in self.outcomes if o.flagged)
+
+    @property
+    def verified_cells(self) -> int:
+        return sum(1 for o in self.outcomes if o.verified)
+
+    @property
+    def failing_cells(self) -> int:
+        """Verified cells with at least one non-OK operation."""
+        return sum(1 for o in self.outcomes if o.rtn_failures > 0)
+
+    @property
+    def cell_failure_rate(self) -> float:
+        return self.failing_cells / self.n_cells if self.outcomes else 0.0
+
+    def screen_metrics(self) -> np.ndarray:
+        """Per-cell screening metrics, shape ``(n_cells,)``."""
+        return np.array([o.screen_metric for o in self.outcomes])
+
+    def snm_samples(self) -> np.ndarray:
+        """The margin-sampled per-cell hold SNMs."""
+        return np.array([o.snm_hold for o in self.outcomes
+                         if o.snm_hold is not None])
+
+    def summary(self) -> dict:
+        """Compact dictionary for reports and the CLI."""
+        metrics = self.screen_metrics()
+        return {
+            "cells": self.n_cells,
+            "traps": self.total_traps,
+            "flagged": self.flagged_cells,
+            "verified": self.verified_cells,
+            "failing": self.failing_cells,
+            "cell_failure_rate": self.cell_failure_rate,
+            "peak_screen_metric": float(metrics.max(initial=0.0)),
+            "nominal_snm_hold": self.nominal_snm_hold,
+        }
+
+
+def _verify_cell(job: tuple) -> tuple[int, int, list]:
+    """Injected SPICE pass for one flagged cell (process-pool friendly).
+
+    Module-level and driven purely by its picklable argument tuple so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` can shard the
+    verification passes; every randomness-bearing input (traces, trap
+    populations) is drawn before sharding, so workers are deterministic.
+    """
+    from ..sram.cell import build_sram_cell
+    from ..sram.detectors import OpOutcome, classify_operations
+    from ..sram.injection import attach_rtn_sources
+    from ..sram.patterns import build_pattern_waveforms
+
+    index, spec, pattern, traces, dt, record_every, thresholds = job
+    cell = build_sram_cell(spec)
+    waves = build_pattern_waveforms(pattern, cell.vdd)
+    cell.set_stimuli(waves.wl, waves.bl, waves.blb)
+    attach_rtn_sources(cell, traces, scale=1.0)
+    waveform = simulate_transient(
+        cell.circuit, waves.duration,
+        dt if dt is not None else waves.suggested_dt,
+        initial_voltages=cell.initial_voltages(pattern.initial_bit),
+        options=TransientOptions(record_every=record_every))
+    results = classify_operations(waveform, waves.schedule, cell.vdd,
+                                  thresholds=thresholds)
+    failures = sum(1 for r in results if r.outcome is not OpOutcome.OK)
+    errors = [r.index for r in results if r.outcome is OpOutcome.ERROR]
+    return index, failures, errors
+
+
+@dataclass
+class EnsembleRunner:
+    """Monte-Carlo ensemble driver on the batched kernel.
+
+    Attributes
+    ----------
+    config:
+        The run configuration.
+    amplitude_model:
+        RTN current amplitude model (default paper Eq. 3); kept here so
+        a runner can be re-used across runs with different models.
+    """
+
+    config: EnsembleConfig
+    amplitude_model: RtnAmplitudeModel | None = None
+
+    def run(self, rng: np.random.Generator, profiler=None) -> EnsembleResult:
+        """Execute the ensemble pipeline (see the module docstring).
+
+        Parameters
+        ----------
+        rng:
+            NumPy random generator; one seed reproduces the whole
+            ensemble (mismatch, trap populations, trap dynamics).
+        profiler:
+            Trap profiler; defaults to the cell technology's standard
+            :class:`~repro.traps.profiling.TrapProfiler`.
+        """
+        from ..sram.array import PELGROM_AVT, sample_vt_shifts
+        from ..sram.biases import extract_biases
+        from ..sram.cell import SramCellSpec, build_sram_cell
+        from ..sram.detectors import OpOutcome, classify_operations
+        from ..sram.margins import static_noise_margin
+        from ..sram.patterns import build_pattern_waveforms
+        from ..traps.profiling import TrapProfiler
+
+        config = self.config
+        spec = config.spec or SramCellSpec()
+        if config.pattern is not None:
+            pattern = config.pattern
+        else:
+            from .experiments import fig8_pattern
+            pattern = fig8_pattern()
+        avt = PELGROM_AVT if config.avt is None else config.avt
+        profiler = profiler or TrapProfiler(spec.technology)
+        model = self.amplitude_model or config.methodology.amplitude_model \
+            or VanDerZielModel()
+        method = config.methodology
+
+        # Step 1: one clean SPICE pass on the nominal cell.
+        cell = build_sram_cell(spec)
+        waves = build_pattern_waveforms(pattern, cell.vdd)
+        cell.set_stimuli(waves.wl, waves.bl, waves.blb)
+        dt = method.dt if method.dt is not None else waves.suggested_dt
+        initial = cell.initial_voltages(pattern.initial_bit)
+        clean = simulate_transient(cell.circuit, waves.duration, dt,
+                                   initial_voltages=initial,
+                                   options=TransientOptions(
+                                       record_every=method.record_every))
+        clean_results = classify_operations(clean, waves.schedule, cell.vdd,
+                                            thresholds=method.thresholds)
+        clean_failures = sum(1 for r in clean_results
+                             if r.outcome is not OpOutcome.OK)
+        biases = extract_biases(cell, clean)
+
+        # Step 2: per-cell mismatch + trap populations.
+        names = list(cell.transistors)
+        shifts = [sample_vt_shifts(rng, spec, avt)
+                  for _ in range(config.n_cells)]
+        populations = {name: [] for name in names}
+        for _ in range(config.n_cells):
+            for name in names:
+                params = cell.transistors[name].params
+                populations[name].append(
+                    profiler.sample(rng, params.width, params.length,
+                                    label_prefix=f"{name.lower()}_t"))
+
+        # Step 3: one batched kernel call per transistor name, spanning
+        # every cell's population; split and synthesise Eq.-3 currents.
+        tech = spec.technology
+        metrics = np.zeros(config.n_cells)
+        transitions = np.zeros(config.n_cells, dtype=np.int64)
+        traces: list[dict] = [dict() for _ in range(config.n_cells)]
+        kernel_stats = {}
+        for name in names:
+            record = biases[name]
+            cells_traps = populations[name]
+            flat_traps = [trap for traps in cells_traps for trap in traps]
+            counts = np.array([len(traps) for traps in cells_traps])
+            peak_i = record.peak_current()
+            if not flat_traps or peak_i <= 0.0:
+                continue
+            batch = population_propensity(flat_traps, tech, record.times,
+                                          record.v_drive)
+            filled_p = equilibrium_occupancy_population(
+                float(record.v_drive[0]), flat_traps, tech)
+            init = (rng.random(len(flat_traps)) < filled_p).astype(np.int8)
+            occupancies, stats = simulate_traps_batch(
+                batch, float(record.times[0]), float(record.times[-1]),
+                rng, initial_states=init)
+            kernel_stats[name] = stats.aggregate
+            params = cell.transistors[name].params
+            limit = np.abs(record.i_d)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for cell_index in range(config.n_cells):
+                cell_occ = occupancies[offsets[cell_index]:
+                                       offsets[cell_index + 1]]
+                if not cell_occ:
+                    continue
+                transitions[cell_index] += sum(o.n_transitions
+                                               for o in cell_occ)
+                n_filled = number_filled(cell_occ, record.times)
+                current = rtn_current_samples(model, params, record.v_drive,
+                                              record.i_d, n_filled)
+                current = current * np.sign(record.i_d) * config.rtn_scale
+                if method.clip_to_nominal:
+                    current = np.clip(current, -limit, limit)
+                metric = float(np.max(np.abs(current))) / peak_i
+                if metric > metrics[cell_index]:
+                    metrics[cell_index] = metric
+                traces[cell_index][name] = RTNTrace(
+                    times=record.times, current=current, label=name)
+
+        # Step 4: verify the flagged cells through the injected pass.
+        flagged = metrics >= config.screen_threshold
+        order = np.argsort(-metrics)
+        verify = [int(i) for i in order if flagged[i] and traces[i]]
+        if config.max_verified_cells is not None:
+            verify = verify[:config.max_verified_cells]
+        jobs = [(i, dataclasses.replace(spec, vt_shifts=shifts[i]),
+                 pattern, traces[i], method.dt, method.record_every,
+                 method.thresholds) for i in verify]
+        verdicts = {}
+        if config.workers and config.workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=config.workers) as pool:
+                for index, failures, errors in pool.map(_verify_cell, jobs):
+                    verdicts[index] = (failures, errors)
+        else:
+            for job in jobs:
+                index, failures, errors = _verify_cell(job)
+                verdicts[index] = (failures, errors)
+
+        # Step 5: margins.
+        nominal_snm = static_noise_margin(spec, mode="hold")
+        result = EnsembleResult(n_slots=len(pattern.operations),
+                                nominal_snm_hold=nominal_snm,
+                                clean_failures=clean_failures,
+                                kernel_stats=kernel_stats)
+        for index in range(config.n_cells):
+            failures, errors = verdicts.get(index, (0, []))
+            snm = None
+            if index < config.margin_samples:
+                snm = static_noise_margin(
+                    dataclasses.replace(spec, vt_shifts=shifts[index]),
+                    mode="hold")
+            result.outcomes.append(CellEnsembleOutcome(
+                index=index, vt_shifts=shifts[index],
+                trap_count=sum(len(populations[name][index])
+                               for name in names),
+                transitions=int(transitions[index]),
+                screen_metric=float(metrics[index]),
+                flagged=bool(flagged[index]),
+                verified=index in verdicts,
+                rtn_failures=failures, error_slots=errors,
+                snm_hold=snm))
+        return result

@@ -30,6 +30,11 @@ from .analytic import (
     stationary_autocovariance,
     stationary_occupancy,
 )
+from .batch import (
+    BatchPropensity,
+    BatchUniformizationStats,
+    simulate_traps_batch,
+)
 from .gillespie import simulate_constant
 from .occupancy import OccupancyTrace, number_filled
 from .piecewise import simulate_piecewise
@@ -38,10 +43,13 @@ from .propensity import (
     ConstantTwoStatePropensity,
     SampledTwoStatePropensity,
     TwoStatePropensity,
+    make_propensity,
 )
 from .uniformization import UniformizationStats, simulate_trap, simulate_trap_detailed
 
 __all__ = [
+    "BatchPropensity",
+    "BatchUniformizationStats",
     "CallableTwoStatePropensity",
     "ConstantTwoStatePropensity",
     "OccupancyTrace",
@@ -49,6 +57,7 @@ __all__ = [
     "TwoStatePropensity",
     "UniformizationStats",
     "lorentzian_psd",
+    "make_propensity",
     "number_filled",
     "occupancy_probability",
     "occupancy_probability_constant",
@@ -56,6 +65,7 @@ __all__ = [
     "simulate_piecewise",
     "simulate_trap",
     "simulate_trap_detailed",
+    "simulate_traps_batch",
     "stationary_autocorrelation",
     "stationary_autocovariance",
     "stationary_occupancy",

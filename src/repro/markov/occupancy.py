@@ -175,6 +175,21 @@ class OccupancyTrace:
         times[-1] = t_hi
         return OccupancyTrace(times=times, states=states)
 
+    @classmethod
+    def _trusted(cls, times: np.ndarray, states: np.ndarray) -> "OccupancyTrace":
+        """Build a trace from arrays already known to satisfy the invariants.
+
+        Internal fast path for the batched kernel, which constructs
+        thousands of traces whose invariants hold by construction; the
+        per-trace validation of ``__post_init__`` would dominate its
+        runtime.  Callers must guarantee every invariant documented on
+        the class.
+        """
+        trace = object.__new__(cls)
+        object.__setattr__(trace, "times", times)
+        object.__setattr__(trace, "states", states)
+        return trace
+
     @staticmethod
     def from_transitions(t_start: float, t_stop: float, initial_state: int,
                          transition_times: np.ndarray) -> "OccupancyTrace":

@@ -18,6 +18,7 @@ arbitrary time-inhomogeneous two-state chains.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
@@ -25,6 +26,34 @@ import numpy as np
 from ..errors import ModelError
 
 ArrayLike = "float | np.ndarray"
+
+
+def _positional_shim(cls_name: str, names: tuple, args: tuple,
+                     kwargs: dict) -> dict:
+    """Map legacy positional constructor arguments onto keywords.
+
+    The propensity constructors are keyword-only since the `repro.api`
+    redesign (one spelling across :mod:`repro.markov` and
+    :mod:`repro.traps`); positional calls still work through this shim
+    but raise a :class:`DeprecationWarning`.
+    """
+    if not args:
+        return kwargs
+    warnings.warn(
+        f"positional arguments to {cls_name}(...) are deprecated; "
+        f"pass {', '.join(names[:len(args)])} as keywords",
+        DeprecationWarning, stacklevel=3)
+    if len(args) > len(names):
+        raise TypeError(
+            f"{cls_name}() takes at most {len(names)} arguments "
+            f"({len(args)} given)")
+    merged = dict(kwargs)
+    for name, value in zip(names, args):
+        if name in merged:
+            raise TypeError(
+                f"{cls_name}() got multiple values for argument {name!r}")
+        merged[name] = value
+    return merged
 
 
 @runtime_checkable
@@ -57,9 +86,18 @@ class ConstantTwoStatePropensity:
         Capture rate (0 -> 1 transitions) [1/s]; must be non-negative.
     lambda_e:
         Emission rate (1 -> 0 transitions) [1/s]; must be non-negative.
+
+    Arguments are keyword-only; positional calls are deprecated.
     """
 
-    def __init__(self, lambda_c: float, lambda_e: float) -> None:
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs = _positional_shim("ConstantTwoStatePropensity",
+                                  ("lambda_c", "lambda_e"), args, kwargs)
+        lambda_c = kwargs.pop("lambda_c")
+        lambda_e = kwargs.pop("lambda_e")
+        if kwargs:
+            raise TypeError(
+                f"unexpected keyword arguments: {sorted(kwargs)}")
         if lambda_c < 0.0 or lambda_e < 0.0:
             raise ModelError(
                 f"propensities must be non-negative, got "
@@ -97,10 +135,20 @@ class CallableTwoStatePropensity:
         A number that dominates both callables over the window to be
         simulated.  Uniformisation is exact for *any* valid bound; a
         loose bound only costs extra rejected candidates.
+
+    Arguments are keyword-only; positional calls are deprecated.
     """
 
-    def __init__(self, capture_fn: Callable, emission_fn: Callable,
-                 rate_bound: float) -> None:
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs = _positional_shim(
+            "CallableTwoStatePropensity",
+            ("capture_fn", "emission_fn", "rate_bound"), args, kwargs)
+        capture_fn: Callable = kwargs.pop("capture_fn")
+        emission_fn: Callable = kwargs.pop("emission_fn")
+        rate_bound: float = kwargs.pop("rate_bound")
+        if kwargs:
+            raise TypeError(
+                f"unexpected keyword arguments: {sorted(kwargs)}")
         if rate_bound <= 0.0 or not np.isfinite(rate_bound):
             raise ModelError(f"rate_bound must be positive finite, got {rate_bound}")
         self._capture_fn = capture_fn
@@ -140,10 +188,22 @@ class SampledTwoStatePropensity:
         of 1.0 is already a valid bound.  A piecewise-linear
         interpolation of a *convex* underlying rate can undershoot but
         never overshoot its samples.
+
+    Arguments are keyword-only; positional calls are deprecated.
     """
 
-    def __init__(self, times: np.ndarray, capture_values: np.ndarray,
-                 emission_values: np.ndarray, bound_safety: float = 1.0) -> None:
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs = _positional_shim(
+            "SampledTwoStatePropensity",
+            ("times", "capture_values", "emission_values", "bound_safety"),
+            args, kwargs)
+        times = kwargs.pop("times")
+        capture_values = kwargs.pop("capture_values")
+        emission_values = kwargs.pop("emission_values")
+        bound_safety = kwargs.pop("bound_safety", 1.0)
+        if kwargs:
+            raise TypeError(
+                f"unexpected keyword arguments: {sorted(kwargs)}")
         times = np.asarray(times, dtype=float)
         capture_values = np.asarray(capture_values, dtype=float)
         emission_values = np.asarray(emission_values, dtype=float)
@@ -183,3 +243,58 @@ class SampledTwoStatePropensity:
     def t_stop(self) -> float:
         """Last sample time of the underlying grid [s]."""
         return float(self.times[-1])
+
+
+def make_propensity(*, lambda_c: float | None = None,
+                    lambda_e: float | None = None,
+                    times: np.ndarray | None = None,
+                    capture_values: np.ndarray | None = None,
+                    emission_values: np.ndarray | None = None,
+                    capture_fn: Callable | None = None,
+                    emission_fn: Callable | None = None,
+                    rate_bound: float | None = None,
+                    bound_safety: float = 1.0) -> TwoStatePropensity:
+    """Build a propensity object from whichever description is given.
+
+    The single keyword-only construction path shared by
+    :mod:`repro.markov` and :mod:`repro.traps` (and surfaced through
+    :mod:`repro.api`).  Exactly one description must be supplied:
+
+    - ``lambda_c`` + ``lambda_e`` — constant rates
+      (:class:`ConstantTwoStatePropensity`);
+    - ``times`` + ``capture_values`` + ``emission_values``
+      (+ ``bound_safety``) — sampled rates
+      (:class:`SampledTwoStatePropensity`);
+    - ``capture_fn`` + ``emission_fn`` + ``rate_bound`` — callables
+      (:class:`CallableTwoStatePropensity`).
+    """
+    constant = lambda_c is not None or lambda_e is not None
+    sampled = (times is not None or capture_values is not None
+               or emission_values is not None)
+    callable_ = capture_fn is not None or emission_fn is not None
+    if constant + sampled + callable_ != 1:
+        raise ModelError(
+            "make_propensity needs exactly one of: constant rates "
+            "(lambda_c, lambda_e), sampled rates (times, capture_values, "
+            "emission_values) or callables (capture_fn, emission_fn, "
+            "rate_bound)"
+        )
+    if constant:
+        if lambda_c is None or lambda_e is None:
+            raise ModelError("constant rates need both lambda_c and lambda_e")
+        return ConstantTwoStatePropensity(lambda_c=lambda_c,
+                                          lambda_e=lambda_e)
+    if sampled:
+        if times is None or capture_values is None or emission_values is None:
+            raise ModelError(
+                "sampled rates need times, capture_values and "
+                "emission_values")
+        return SampledTwoStatePropensity(
+            times=times, capture_values=capture_values,
+            emission_values=emission_values, bound_safety=bound_safety)
+    if capture_fn is None or emission_fn is None or rate_bound is None:
+        raise ModelError(
+            "callable rates need capture_fn, emission_fn and rate_bound")
+    return CallableTwoStatePropensity(capture_fn=capture_fn,
+                                      emission_fn=emission_fn,
+                                      rate_bound=rate_bound)

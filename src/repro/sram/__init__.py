@@ -18,7 +18,12 @@ Implements the circuit side of the paper's methodology (Fig. 8):
   (paper future-work #3).
 """
 
-from .array import ArrayConfig, ArrayResult, simulate_array
+from .array import (
+    ArrayConfig,
+    ArrayResult,
+    simulate_array,
+    simulate_array_fast,
+)
 from .biases import BiasRecord, extract_biases
 from .cell import SramCell, SramCellSpec, TRANSISTOR_NAMES, build_sram_cell
 from .detectors import OpOutcome, OpResult, classify_operations
@@ -43,6 +48,7 @@ __all__ = [
     "classify_operations",
     "extract_biases",
     "simulate_array",
+    "simulate_array_fast",
     "static_noise_margin",
     "wordline_write_margin",
     "write_pattern",

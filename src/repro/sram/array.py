@@ -172,3 +172,28 @@ def simulate_array(config: ArrayConfig, rng: np.random.Generator,
             clean_failures=clean_failures, rtn_failures=rtn_failures,
             error_slots=run.failed_slots()))
     return result
+
+
+def simulate_array_fast(config: ArrayConfig, rng: np.random.Generator,
+                        profiler: TrapProfiler | None = None,
+                        screen_threshold: float = 0.02,
+                        max_verified_cells: int | None = None,
+                        workers: int | None = None):
+    """Batched counterpart of :func:`simulate_array`.
+
+    Delegates to :class:`repro.core.ensemble.EnsembleRunner`: one shared
+    clean SPICE pass, a single vectorised trap sweep per transistor for
+    the whole array, and injected SPICE verification only for the cells
+    the screening metric flags (optionally sharded across ``workers``
+    processes).  Returns an
+    :class:`~repro.core.ensemble.EnsembleResult`.
+    """
+    from ..core.ensemble import EnsembleConfig, EnsembleRunner
+
+    ensemble = EnsembleConfig(
+        n_cells=config.n_cells, spec=config.base_spec,
+        pattern=config.pattern, rtn_scale=config.rtn_scale,
+        avt=config.avt, screen_threshold=screen_threshold,
+        max_verified_cells=max_verified_cells, workers=workers,
+        methodology=config.methodology or MethodologyConfig())
+    return EnsembleRunner(ensemble).run(rng, profiler=profiler)

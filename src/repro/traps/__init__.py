@@ -17,8 +17,11 @@ Implements paper §II:
 from .band import crossing_energy, surface_potential, trap_energy_offset
 from .propensity import (
     equilibrium_occupancy,
+    equilibrium_occupancy_population,
     log_beta_from_bias,
+    population_propensity,
     propensity_sum,
+    rates_for_population,
     rates_from_bias,
     trap_propensity,
 )
@@ -30,8 +33,11 @@ __all__ = [
     "TrapProfiler",
     "crossing_energy",
     "equilibrium_occupancy",
+    "equilibrium_occupancy_population",
     "log_beta_from_bias",
+    "population_propensity",
     "propensity_sum",
+    "rates_for_population",
     "rates_from_bias",
     "surface_potential",
     "trap_energy_offset",

@@ -24,6 +24,7 @@ from scipy.special import expit
 from ..constants import thermal_energy_ev
 from ..devices.technology import Technology
 from ..errors import ModelError
+from ..markov.batch import BatchPropensity
 from ..markov.propensity import SampledTwoStatePropensity
 from .band import trap_energy_offset
 from .trap import Trap
@@ -140,4 +141,59 @@ def trap_propensity(trap: Trap, tech: Technology, times: np.ndarray,
     v_gs = np.asarray(v_gs, dtype=float)
     lambda_c, lambda_e = rates_from_bias(v_gs, trap, tech)
     return SampledTwoStatePropensity(
-        np.asarray(times, dtype=float), lambda_c, lambda_e)
+        times=np.asarray(times, dtype=float),
+        capture_values=lambda_c, emission_values=lambda_e)
+
+
+def population_propensity(traps: list, tech: Technology, times: np.ndarray,
+                          v_gs: np.ndarray) -> BatchPropensity:
+    """Build the batched propensity of a whole population under one waveform.
+
+    The array-of-struct counterpart of :func:`trap_propensity`: every
+    trap of a transistor sees the same gate drive, so the expensive
+    surface-potential solve is done *once per waveform sample* and the
+    per-trap Eq.-(1)/(2) rates broadcast into dense ``(K, M)`` arrays —
+    the layout :func:`repro.markov.batch.simulate_traps_batch` consumes.
+    Rates are identical (to rounding) to calling :func:`trap_propensity`
+    per trap.
+
+    Parameters
+    ----------
+    traps:
+        The trap population (possibly empty).
+    tech:
+        Host technology card.
+    times:
+        Strictly increasing bias sample times [s], shape ``(M,)``.
+    v_gs:
+        Gate-source bias samples [V], same length as ``times``.
+    """
+    from .band import surface_potential
+
+    times = np.asarray(times, dtype=float)
+    v_gs = np.asarray(v_gs, dtype=float)
+    if times.ndim != 1 or times.size < 2:
+        raise ModelError("times must be 1-D with >= 2 samples")
+    if v_gs.shape != times.shape:
+        raise ModelError(
+            f"v_gs shape {v_gs.shape} does not match times {times.shape}")
+    if not traps:
+        empty = np.zeros((0, times.size))
+        return BatchPropensity(times=times, capture=empty, emission=empty)
+
+    kt_ev = thermal_energy_ev(tech.temperature)
+    psi = surface_potential(v_gs, tech)
+    v_ox = v_gs - tech.v_fb - psi
+    y = np.array([trap.y_tr for trap in traps])
+    if np.any(y > tech.t_ox):
+        raise ModelError("trap depth exceeds oxide thickness")
+    e_tr = np.array([trap.e_tr for trap in traps])
+    degeneracy = np.array([trap.degeneracy for trap in traps])
+    offset = e_tr[:, None] - psi[None, :] - (y / tech.t_ox)[:, None] * v_ox[None, :]
+    log_beta = np.log(degeneracy)[:, None] + offset / kt_ev
+    totals = 1.0 / (tech.tau0 * np.exp(tech.gamma_tunnel * y))
+    return BatchPropensity(
+        times=times,
+        capture=totals[:, None] * expit(-log_beta),
+        emission=totals[:, None] * expit(log_beta),
+    )

@@ -1,0 +1,101 @@
+"""Tests for the batched ensemble engine (:mod:`repro.core.ensemble`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import (
+    CellEnsembleOutcome,
+    EnsembleConfig,
+    EnsembleResult,
+    EnsembleRunner,
+)
+from repro.core.experiments import fig8_cell_spec, fig8_pattern
+from repro.errors import SimulationError
+
+N_CELLS = 4
+
+
+@pytest.fixture(scope="module")
+def result() -> EnsembleResult:
+    # One shared small run: a 2-slot pattern keeps the SPICE passes
+    # short while still exercising the whole pipeline, and the paper's
+    # x30 acceleration guarantees flagged cells so the verification
+    # branch runs too.
+    config = EnsembleConfig(
+        n_cells=N_CELLS, spec=fig8_cell_spec(),
+        pattern=fig8_pattern(bits=(1, 0)), rtn_scale=30.0,
+        max_verified_cells=2, margin_samples=2)
+    return EnsembleRunner(config).run(np.random.default_rng(11))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(SimulationError):
+            EnsembleConfig(n_cells=0)
+        with pytest.raises(SimulationError):
+            EnsembleConfig(n_cells=1, rtn_scale=-1.0)
+        with pytest.raises(SimulationError):
+            EnsembleConfig(n_cells=1, screen_threshold=-0.5)
+        with pytest.raises(SimulationError):
+            EnsembleConfig(n_cells=1, margin_samples=-1)
+
+
+class TestRun:
+    def test_outcome_bookkeeping(self, result):
+        assert result.n_cells == N_CELLS
+        assert len(result.outcomes) == N_CELLS
+        assert [o.index for o in result.outcomes] == list(range(N_CELLS))
+        assert result.total_traps == sum(o.trap_count
+                                         for o in result.outcomes)
+        for outcome in result.outcomes:
+            assert isinstance(outcome, CellEnsembleOutcome)
+            assert len(outcome.vt_shifts) == 6
+            assert outcome.screen_metric >= 0.0
+
+    def test_one_kernel_call_per_transistor(self, result):
+        # The whole array is swept in one batched kernel call per
+        # transistor name — that is the point of the engine.
+        assert len(result.kernel_stats) == 6
+        assert sum(s.n_candidates for s in result.kernel_stats.values()) > 0
+
+    def test_screening_and_verification(self, result):
+        for outcome in result.outcomes:
+            assert outcome.flagged == (
+                outcome.screen_metric >= 0.02 and outcome.trap_count > 0)
+            if outcome.verified:
+                assert outcome.flagged
+        assert result.verified_cells <= 2
+        assert result.flagged_cells >= result.verified_cells
+
+    def test_margins(self, result):
+        assert result.nominal_snm_hold > 0.0
+        samples = result.snm_samples()
+        assert samples.size == 2
+        assert np.all(samples > 0.0)
+
+    def test_summary_and_metrics(self, result):
+        summary = result.summary()
+        for key in ("cells", "traps", "flagged", "verified", "failing",
+                    "cell_failure_rate", "nominal_snm_hold"):
+            assert key in summary
+        assert summary["cells"] == N_CELLS
+        assert result.screen_metrics().shape == (N_CELLS,)
+        assert 0.0 <= result.cell_failure_rate <= 1.0
+
+
+class TestArrayFacade:
+    def test_simulate_array_fast_delegates(self):
+        from repro.core.methodology import MethodologyConfig
+        from repro.sram.array import ArrayConfig, simulate_array_fast
+
+        config = ArrayConfig(
+            n_cells=2, base_spec=fig8_cell_spec(),
+            pattern=fig8_pattern(bits=(1,)), rtn_scale=30.0,
+            methodology=MethodologyConfig(rtn_scale=30.0))
+        result = simulate_array_fast(config, np.random.default_rng(5),
+                                     max_verified_cells=0)
+        assert isinstance(result, EnsembleResult)
+        assert result.n_cells == 2
+        assert result.verified_cells == 0

@@ -83,7 +83,7 @@ class TestStatistics:
         def lam_e(t):
             return total - lam_c(t)
 
-        prop = CallableTwoStatePropensity(lam_c, lam_e, rate_bound=total)
+        prop = CallableTwoStatePropensity(capture_fn=lam_c, emission_fn=lam_e, rate_bound=total)
         n_runs = 250
         grid = np.array([0.05, 0.15, 0.25])
         pw_counts = np.zeros(3)

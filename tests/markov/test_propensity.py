@@ -18,50 +18,55 @@ from repro.markov.propensity import (
 
 class TestConstantPropensity:
     def test_values_and_bound(self):
-        prop = ConstantTwoStatePropensity(3.0, 7.0)
+        prop = ConstantTwoStatePropensity(lambda_c=3.0, lambda_e=7.0)
         assert prop.capture(0.0) == 3.0
         assert prop.emission(123.4) == 7.0
         assert prop.rate_bound() == 10.0
 
     def test_vectorised_evaluation(self):
-        prop = ConstantTwoStatePropensity(3.0, 7.0)
+        prop = ConstantTwoStatePropensity(lambda_c=3.0, lambda_e=7.0)
         t = np.linspace(0, 1, 5)
         assert np.all(prop.capture(t) == 3.0)
         assert np.all(prop.emission(t) == 7.0)
 
     def test_rejects_negative(self):
         with pytest.raises(ModelError):
-            ConstantTwoStatePropensity(-1.0, 2.0)
+            ConstantTwoStatePropensity(lambda_c=-1.0, lambda_e=2.0)
 
     def test_rejects_all_zero(self):
         with pytest.raises(ModelError):
-            ConstantTwoStatePropensity(0.0, 0.0)
+            ConstantTwoStatePropensity(lambda_c=0.0, lambda_e=0.0)
 
     def test_satisfies_protocol(self):
-        assert isinstance(ConstantTwoStatePropensity(1.0, 1.0), TwoStatePropensity)
+        assert isinstance(ConstantTwoStatePropensity(lambda_c=1.0, lambda_e=1.0), TwoStatePropensity)
 
     def test_repr_mentions_rates(self):
-        text = repr(ConstantTwoStatePropensity(1.5, 2.5))
+        text = repr(ConstantTwoStatePropensity(lambda_c=1.5, lambda_e=2.5))
         assert "1.5" in text and "2.5" in text
 
 
 class TestCallablePropensity:
     def test_passthrough(self):
         prop = CallableTwoStatePropensity(
-            lambda t: 1.0 + t, lambda t: 2.0 - t, rate_bound=3.0)
+            capture_fn=lambda t: 1.0 + t, emission_fn=lambda t: 2.0 - t,
+            rate_bound=3.0)
         assert prop.capture(1.0) == 2.0
         assert prop.emission(0.5) == 1.5
         assert prop.rate_bound() == 3.0
 
     def test_rejects_bad_bound(self):
         with pytest.raises(ModelError):
-            CallableTwoStatePropensity(lambda t: 1.0, lambda t: 1.0, rate_bound=0.0)
+            CallableTwoStatePropensity(capture_fn=lambda t: 1.0,
+                                       emission_fn=lambda t: 1.0,
+                                       rate_bound=0.0)
         with pytest.raises(ModelError):
-            CallableTwoStatePropensity(lambda t: 1.0, lambda t: 1.0,
+            CallableTwoStatePropensity(capture_fn=lambda t: 1.0, emission_fn=lambda t: 1.0,
                                        rate_bound=float("inf"))
 
     def test_satisfies_protocol(self):
-        prop = CallableTwoStatePropensity(lambda t: 1.0, lambda t: 1.0, 2.0)
+        prop = CallableTwoStatePropensity(capture_fn=lambda t: 1.0,
+                                          emission_fn=lambda t: 1.0,
+                                          rate_bound=2.0)
         assert isinstance(prop, TwoStatePropensity)
 
 
@@ -69,7 +74,8 @@ class TestSampledPropensity:
     def make(self) -> SampledTwoStatePropensity:
         times = np.array([0.0, 1.0, 2.0])
         return SampledTwoStatePropensity(
-            times, np.array([1.0, 3.0, 1.0]), np.array([4.0, 2.0, 4.0]))
+            times=times, capture_values=np.array([1.0, 3.0, 1.0]),
+            emission_values=np.array([4.0, 2.0, 4.0]))
 
     def test_interpolation(self):
         prop = self.make()
@@ -88,7 +94,8 @@ class TestSampledPropensity:
     def test_bound_safety_scales(self):
         times = np.array([0.0, 1.0])
         prop = SampledTwoStatePropensity(
-            times, np.array([1.0, 2.0]), np.array([1.0, 1.0]), bound_safety=3.0)
+            times=times, capture_values=np.array([1.0, 2.0]),
+            emission_values=np.array([1.0, 1.0]), bound_safety=3.0)
         assert prop.rate_bound() == 6.0
 
     def test_window_properties(self):
@@ -99,27 +106,32 @@ class TestSampledPropensity:
     def test_rejects_shape_mismatch(self):
         with pytest.raises(ModelError):
             SampledTwoStatePropensity(
-                np.array([0.0, 1.0]), np.array([1.0]), np.array([1.0, 1.0]))
+                times=np.array([0.0, 1.0]), capture_values=np.array([1.0]),
+                emission_values=np.array([1.0, 1.0]))
 
     def test_rejects_non_monotone_times(self):
         with pytest.raises(ModelError):
             SampledTwoStatePropensity(
-                np.array([0.0, 0.0]), np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+                times=np.array([0.0, 0.0]), capture_values=np.array([1.0, 1.0]),
+                emission_values=np.array([1.0, 1.0]))
 
     def test_rejects_negative_samples(self):
         with pytest.raises(ModelError):
             SampledTwoStatePropensity(
-                np.array([0.0, 1.0]), np.array([-1.0, 1.0]), np.array([1.0, 1.0]))
+                times=np.array([0.0, 1.0]), capture_values=np.array([-1.0, 1.0]),
+                emission_values=np.array([1.0, 1.0]))
 
     def test_rejects_all_zero_samples(self):
         with pytest.raises(ModelError):
             SampledTwoStatePropensity(
-                np.array([0.0, 1.0]), np.zeros(2), np.zeros(2))
+                times=np.array([0.0, 1.0]), capture_values=np.zeros(2),
+                emission_values=np.zeros(2))
 
     def test_rejects_bound_safety_below_one(self):
         with pytest.raises(ModelError):
             SampledTwoStatePropensity(
-                np.array([0.0, 1.0]), np.ones(2), np.ones(2), bound_safety=0.5)
+                times=np.array([0.0, 1.0]), capture_values=np.ones(2),
+                emission_values=np.ones(2), bound_safety=0.5)
 
 
 @settings(max_examples=50, deadline=None)
@@ -137,7 +149,7 @@ def test_property_sampled_bound_dominates_interpolant(captures, emissions):
     if captures.max() == 0.0 and emissions.max() == 0.0:
         captures = captures + 1.0
     times = np.arange(n, dtype=float)
-    prop = SampledTwoStatePropensity(times, captures, emissions)
+    prop = SampledTwoStatePropensity(times=times, capture_values=captures, emission_values=emissions)
     bound = prop.rate_bound()
     grid = np.linspace(0.0, n - 1.0, 257)
     assert np.all(prop.capture(grid) <= bound + 1e-9)

@@ -32,50 +32,50 @@ from repro.markov.uniformization import (
 
 class TestInterface:
     def test_rejects_bad_window(self, rng):
-        prop = ConstantTwoStatePropensity(1.0, 1.0)
+        prop = ConstantTwoStatePropensity(lambda_c=1.0, lambda_e=1.0)
         with pytest.raises(SimulationError):
             simulate_trap(prop, 1.0, 1.0, rng)
         with pytest.raises(SimulationError):
             simulate_trap(prop, 1.0, 0.0, rng)
 
     def test_rejects_bad_initial_state(self, rng):
-        prop = ConstantTwoStatePropensity(1.0, 1.0)
+        prop = ConstantTwoStatePropensity(lambda_c=1.0, lambda_e=1.0)
         with pytest.raises(SimulationError):
             simulate_trap(prop, 0.0, 1.0, rng, initial_state=2)
 
     def test_rejects_bad_bound_override(self, rng):
-        prop = ConstantTwoStatePropensity(1.0, 1.0)
+        prop = ConstantTwoStatePropensity(lambda_c=1.0, lambda_e=1.0)
         with pytest.raises(SimulationError):
             simulate_trap(prop, 0.0, 1.0, rng, rate_bound=-1.0)
 
     def test_rejects_explosive_runs(self, rng):
-        prop = ConstantTwoStatePropensity(1e12, 1e12)
+        prop = ConstantTwoStatePropensity(lambda_c=1e12, lambda_e=1e12)
         with pytest.raises(SimulationError):
             simulate_trap(prop, 0.0, 1.0, rng)
 
     def test_invalid_bound_detected_during_run(self, rng):
         # Bound below the true rate must be caught, not silently wrong.
-        prop = CallableTwoStatePropensity(
-            lambda t: 10.0, lambda t: 10.0, rate_bound=20.0)
+        prop = CallableTwoStatePropensity(capture_fn=
+            lambda t: 10.0, emission_fn=lambda t: 10.0, rate_bound=20.0)
         with pytest.raises(SimulationError):
             simulate_trap(prop, 0.0, 100.0, rng, rate_bound=1.0)
 
     def test_trace_covers_window(self, rng):
-        prop = ConstantTwoStatePropensity(5.0, 5.0)
+        prop = ConstantTwoStatePropensity(lambda_c=5.0, lambda_e=5.0)
         trace = simulate_trap(prop, 2.0, 12.0, rng, initial_state=1)
         assert trace.t_start == 2.0
         assert trace.t_stop == 12.0
         assert trace.initial_state == 1
 
     def test_reproducible_given_seed(self, rng_factory):
-        prop = ConstantTwoStatePropensity(50.0, 30.0)
+        prop = ConstantTwoStatePropensity(lambda_c=50.0, lambda_e=30.0)
         a = simulate_trap(prop, 0.0, 10.0, rng_factory(7))
         b = simulate_trap(prop, 0.0, 10.0, rng_factory(7))
         assert np.array_equal(a.times, b.times)
         assert np.array_equal(a.states, b.states)
 
     def test_detailed_stats_consistent(self, rng):
-        prop = ConstantTwoStatePropensity(40.0, 60.0)
+        prop = ConstantTwoStatePropensity(lambda_c=40.0, lambda_e=60.0)
         trace, stats_ = simulate_trap_detailed(prop, 0.0, 20.0, rng)
         assert stats_.rate_bound == 100.0
         assert stats_.n_accepted == trace.n_transitions
@@ -88,7 +88,7 @@ class TestInterface:
         assert s.acceptance_ratio == 0.0
 
     def test_simulate_traps_defaults_and_validation(self, rng):
-        props = [ConstantTwoStatePropensity(10.0, 10.0)] * 3
+        props = [ConstantTwoStatePropensity(lambda_c=10.0, lambda_e=10.0)] * 3
         traces = simulate_traps(props, 0.0, 5.0, rng)
         assert len(traces) == 3
         assert all(t.initial_state == 0 for t in traces)
@@ -101,7 +101,7 @@ class TestConstantRateStatistics:
 
     def test_occupancy_matches_stationary(self, rng):
         lam_c, lam_e = 80.0, 40.0
-        prop = ConstantTwoStatePropensity(lam_c, lam_e)
+        prop = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
         trace = simulate_trap(prop, 0.0, 400.0, rng, initial_state=0)
         expected = stationary_occupancy(lam_c, lam_e)
         # Standard error of the time-average ~ sqrt(2 p q / (S T)) ~ 0.003.
@@ -109,7 +109,7 @@ class TestConstantRateStatistics:
 
     def test_dwell_times_are_exponential(self, rng):
         lam_c, lam_e = 100.0, 60.0
-        prop = ConstantTwoStatePropensity(lam_c, lam_e)
+        prop = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
         trace = simulate_trap(prop, 0.0, 200.0, rng)
         for state, rate in ((0, lam_c), (1, lam_e)):
             dwells = trace.dwell_times(state)
@@ -120,7 +120,7 @@ class TestConstantRateStatistics:
 
     def test_transition_count_near_expectation(self, rng):
         lam_c, lam_e = 50.0, 50.0
-        prop = ConstantTwoStatePropensity(lam_c, lam_e)
+        prop = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
         t_total = 100.0
         trace = simulate_trap(prop, 0.0, t_total, rng)
         # Symmetric chain: transition rate is 50/s in both states.
@@ -131,7 +131,7 @@ class TestConstantRateStatistics:
         """KS test on final-state-resolved dwell samples vs Gillespie."""
         from repro.markov.gillespie import simulate_constant
         lam_c, lam_e = 30.0, 70.0
-        prop = ConstantTwoStatePropensity(lam_c, lam_e)
+        prop = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
         uni = simulate_trap(prop, 0.0, 300.0, rng_factory(1))
         gil = simulate_constant(lam_c, lam_e, 0.0, 300.0, rng_factory(2))
         for state in (0, 1):
@@ -142,7 +142,7 @@ class TestConstantRateStatistics:
     def test_loose_bound_preserves_statistics(self, rng_factory):
         """Ablation A3 invariant: inflating lambda* changes cost only."""
         lam_c, lam_e = 60.0, 20.0
-        prop = ConstantTwoStatePropensity(lam_c, lam_e)
+        prop = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
         tight = simulate_trap(prop, 0.0, 300.0, rng_factory(3))
         loose = simulate_trap(prop, 0.0, 300.0, rng_factory(4),
                               rate_bound=10.0 * (lam_c + lam_e))
@@ -152,7 +152,7 @@ class TestConstantRateStatistics:
         assert p_value > 1e-3
 
     def test_loose_bound_costs_more_candidates(self, rng_factory):
-        prop = ConstantTwoStatePropensity(60.0, 20.0)
+        prop = ConstantTwoStatePropensity(lambda_c=60.0, lambda_e=20.0)
         __, tight = simulate_trap_detailed(prop, 0.0, 100.0, rng_factory(5))
         __, loose = simulate_trap_detailed(prop, 0.0, 100.0, rng_factory(6),
                                            rate_bound=10.0 * 80.0)
@@ -166,7 +166,7 @@ class TestNonStationaryStatistics:
     def test_relaxation_from_empty(self, rng):
         """p1(t) relaxation at constant rates from a non-equilibrium start."""
         lam_c, lam_e = 200.0, 100.0
-        prop = ConstantTwoStatePropensity(lam_c, lam_e)
+        prop = ConstantTwoStatePropensity(lambda_c=lam_c, lambda_e=lam_e)
         n_runs = 400
         grid = np.linspace(0.0, 0.02, 21)
         counts = np.zeros_like(grid)
@@ -188,7 +188,7 @@ class TestNonStationaryStatistics:
         def lam_e(t):
             return total - lam_c(t)
 
-        prop = CallableTwoStatePropensity(lam_c, lam_e, rate_bound=total)
+        prop = CallableTwoStatePropensity(capture_fn=lam_c, emission_fn=lam_e, rate_bound=total)
         t_stop = 0.04
         grid = np.linspace(0.0, t_stop, 33)
         n_runs = 600
@@ -210,7 +210,7 @@ class TestNonStationaryStatistics:
         def lam_e(t):
             return total - lam_c(t)
 
-        prop = CallableTwoStatePropensity(lam_c, lam_e, rate_bound=total)
+        prop = CallableTwoStatePropensity(capture_fn=lam_c, emission_fn=lam_e, rate_bound=total)
         n_runs = 300
         before = np.zeros(n_runs)
         after = np.zeros(n_runs)
@@ -226,7 +226,7 @@ class TestNonStationaryStatistics:
         times = np.linspace(0.0, 0.1, 101)
         capture = 400.0 + 300.0 * np.sin(2 * np.pi * 30.0 * times)
         emission = 800.0 - capture
-        prop = SampledTwoStatePropensity(times, capture, emission)
+        prop = SampledTwoStatePropensity(times=times, capture_values=capture, emission_values=emission)
         trace = simulate_trap(prop, 0.0, 0.1, rng)
         assert trace.t_stop == 0.1
         assert trace.n_transitions > 10

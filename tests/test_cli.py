@@ -29,6 +29,25 @@ class TestCommands:
         assert "90nm" in out and "22nm" in out
         assert "t_ox" in out
 
+    def test_cards_lists_every_technology(self, capsys):
+        from repro.devices.technology import TECHNOLOGIES
+
+        assert main(["cards"]) == 0
+        out = capsys.readouterr().out
+        for name in TECHNOLOGIES:
+            assert name in out
+
+    def test_ensemble(self, capsys):
+        # --verify 0 skips the per-cell SPICE passes: no cell can be
+        # confirmed failing, so the exit code must be 0.
+        assert main(["ensemble", "--cells", "2", "--seed", "1",
+                     "--verify", "0", "--margins", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Ensemble (2 cells" in out
+        assert "batched candidates" in out
+        assert "nominal hold SNM" in out
+        assert "sampled hold SNM" in out
+
     def test_traps(self, capsys):
         assert main(["traps", "--tech", "45nm", "--seed", "3"]) == 0
         out = capsys.readouterr().out
