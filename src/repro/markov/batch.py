@@ -173,8 +173,10 @@ class BatchPropensity:
         steps = np.diff(grid)
         dt0 = steps[0]
         if np.allclose(steps, dt0, rtol=1e-9, atol=0.0):
-            pos = (t - grid[0]) / dt0
-            idx = np.clip(pos.astype(np.int32), 0, n_segments - 1)
+            # Clamp before the integer cast: a float pos beyond int range
+            # would wrap negative and silently land on segment 0.
+            pos = np.clip((t - grid[0]) / dt0, 0.0, float(n_segments))
+            idx = np.minimum(pos.astype(np.int64), n_segments - 1)
             w = np.clip(pos - idx, 0.0, 1.0)
         else:
             idx = np.clip(
@@ -392,7 +394,12 @@ def simulate_traps_batch(
     counts = rng.poisson(lam=bounds * window).astype(np.int64)
     total = int(counts.sum())
     padded = n_traps * (int(counts.max(initial=0)) + 1)
-    if padded <= max(_PAD_MIN_BUDGET, _PAD_WASTE_FACTOR * (total + n_traps)):
+    if total == 0:
+        # No candidates anywhere (likely for low-rate populations over
+        # short windows) — every trap simply holds its initial state.
+        flips_per_trap = np.zeros(n_traps, dtype=np.int64)
+        flip_times = np.zeros(0, dtype=float)
+    elif padded <= max(_PAD_MIN_BUDGET, _PAD_WASTE_FACTOR * (total + n_traps)):
         flips_per_trap, flip_times = _padded_sweep(
             batch, bounds, counts, init, t_start, window, rng)
     else:
@@ -560,6 +567,11 @@ def _build_traces(n_traps: int, init: np.ndarray,
         np.arange(longest, dtype=np.int8) % 2,
         (np.arange(longest, dtype=np.int8) + 1) % 2,
     )
+    # The traces below hold overlapping views of these buffers; freeze
+    # them so a stray in-place edit cannot corrupt sibling traces.
+    boundary_times.flags.writeable = False
+    parity_from[0].flags.writeable = False
+    parity_from[1].flags.writeable = False
 
     traces = []
     for index in range(n_traps):

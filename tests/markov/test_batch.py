@@ -184,6 +184,40 @@ class TestInterface:
         assert stats.acceptance_ratio == 0.0
         assert stats.aggregate.rate_bound == 0.0
 
+    def test_zero_candidate_population(self, rng):
+        # Rates so low that every trap's Poisson count is zero: the
+        # kernel must return flat traces, not crash on an empty layout.
+        batch = _constant_batch(10, 5e-5, 5e-5)
+        init = np.array([0, 1] * 5)
+        traces, stats = simulate_traps_batch(batch, 0.0, 1.0, rng,
+                                             initial_states=init)
+        assert stats.total_candidates == 0
+        assert stats.total_accepted == 0
+        for trace, state in zip(traces, init):
+            assert trace.n_transitions == 0
+            assert trace.initial_state == int(state)
+        _revalidate(traces)
+
+    def test_grid_coordinates_clamp_far_beyond_grid(self):
+        # Times astronomically past the grid end must clamp to the last
+        # grid point, not wrap negative through the integer cast.
+        batch = BatchPropensity(times=np.array([0.0, 1.0]),
+                                capture=np.array([[2.0, 8.0]]),
+                                emission=np.array([[1.0, 1.0]]))
+        idx, w = batch.grid_coordinates(np.array([[-3.0, 0.5, 5e9]]))
+        assert idx.tolist() == [[0, 0, 0]]
+        assert w.tolist() == [[0.0, 0.5, 1.0]]
+
+    def test_trace_buffers_are_read_only(self, rng):
+        # Batched traces share backing buffers; they must be frozen so
+        # mutating one trace cannot corrupt its siblings.
+        batch = _constant_batch(4, 50.0, 50.0)
+        traces, _ = simulate_traps_batch(batch, 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            traces[0].times[0] = 99.0
+        with pytest.raises(ValueError):
+            traces[0].states[0] = 1
+
 
 class TestStatisticalEquivalence:
     """Batch vs scalar kernel under a seed-split: same law."""
