@@ -30,6 +30,9 @@ Array-scale Monte-Carlo
     :class:`EnsembleRunner`, :class:`EnsembleConfig`,
     :class:`EnsembleResult`, :func:`simulate_array`,
     :func:`simulate_array_fast`
+Resilience (fault-tolerant execution)
+    :class:`RetryPolicy`, :class:`JobResult`, :func:`run_jobs`,
+    :class:`RunCheckpoint`, :func:`inject_faults`
 """
 
 from __future__ import annotations
@@ -68,6 +71,12 @@ _EXPORTS = {
     "EnsembleResult": "repro.core.ensemble:EnsembleResult",
     "simulate_array": "repro.sram.array:simulate_array",
     "simulate_array_fast": "repro.sram.array:simulate_array_fast",
+    # Resilience.
+    "RetryPolicy": "repro.core.resilience:RetryPolicy",
+    "JobResult": "repro.core.resilience:JobResult",
+    "run_jobs": "repro.core.resilience:run_jobs",
+    "RunCheckpoint": "repro.core.resilience:RunCheckpoint",
+    "inject_faults": "repro.testing.faults:inject_faults",
 }
 
 __all__ = sorted(_EXPORTS)

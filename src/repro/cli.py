@@ -54,15 +54,21 @@ def _cmd_fig8(args) -> int:
 def _cmd_ensemble(args) -> int:
     from .core.ensemble import EnsembleConfig, EnsembleRunner
     from .core.experiments import fig8_pattern
+    from .core.resilience import RetryPolicy
     from .devices.technology import get_technology
     from .sram.cell import SramCellSpec
 
     spec = SramCellSpec(technology=get_technology(args.tech), vdd=args.vdd)
+    retry = RetryPolicy(attempts=args.retry_attempts,
+                        backoff=args.retry_backoff,
+                        timeout=args.job_timeout)
+    checkpoint_dir = args.resume if args.resume else args.checkpoint_dir
     config = EnsembleConfig(
         n_cells=args.cells, spec=spec, pattern=fig8_pattern(),
         rtn_scale=args.scale, screen_threshold=args.threshold,
         max_verified_cells=args.verify, workers=args.workers,
-        margin_samples=args.margins)
+        margin_samples=args.margins, retry=retry,
+        checkpoint_dir=checkpoint_dir, resume=bool(args.resume))
     rng = np.random.default_rng(args.seed)
     result = EnsembleRunner(config).run(rng)
 
@@ -85,7 +91,26 @@ def _cmd_ensemble(args) -> int:
         samples = result.snm_samples() * 1e3
         print(f"sampled hold SNM: mean {samples.mean():.1f} mV, "
               f"sigma {samples.std():.1f} mV ({samples.size} cells)")
-    return 0 if result.failing_cells == 0 else 2
+    failure = result.failure_summary()
+    counts = failure["counts"]
+    print("statuses: " + "  ".join(f"{status} {counts[status]}"
+                                   for status in counts))
+    for name, message in failure["kernel_fallbacks"].items():
+        print(f"kernel fallback on {name}: {message}")
+    for entry in failure["errors"]:
+        detail = entry["details"]
+        extra = (f" (iterations={detail['iterations']}, "
+                 f"residual={detail['residual']})"
+                 if detail.get("iterations") is not None else "")
+        print(f"cell {entry['cell']} {entry['status']}: "
+              f"{entry['error']}{extra}")
+    if checkpoint_dir:
+        print(f"checkpoint: {checkpoint_dir}")
+    # Exit codes: 0 clean, 2 confirmed write errors, 3 incomplete run
+    # (some cells failed/timed out but the partial result was returned).
+    if result.failing_cells > 0:
+        return 2
+    return 0 if failure["complete"] else 3
 
 
 def _cmd_snm(args) -> int:
@@ -179,6 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="cells to also solve a per-cell hold SNM for")
     ensemble.add_argument("--top", type=int, default=10,
                           help="rows to print in the per-cell table")
+    ensemble.add_argument("--retry-attempts", type=int, default=3,
+                          help="total tries per verification job")
+    ensemble.add_argument("--retry-backoff", type=float, default=0.0,
+                          help="base backoff between retries [s]")
+    ensemble.add_argument("--job-timeout", type=float, default=None,
+                          help="per-job wall-clock budget [s] "
+                               "(hung workers are reaped)")
+    ensemble.add_argument("--checkpoint-dir", default=None,
+                          help="directory for periodic snapshots of "
+                               "completed cells")
+    ensemble.add_argument("--resume", metavar="DIR", default=None,
+                          help="resume from a checkpoint directory, "
+                               "skipping finished cells "
+                               "(implies --checkpoint-dir DIR)")
 
     snm = sub.add_parser("snm", help="static noise margins of a cell")
     snm.add_argument("--tech", default="90nm")

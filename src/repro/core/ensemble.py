@@ -37,13 +37,13 @@ The pipeline:
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import SimulationError
-from ..markov.batch import simulate_traps_batch
+from ..errors import ModelError, RecoveredWarning, SimulationError
+from ..markov.batch import _scalar_fallback, simulate_traps_batch
 from ..markov.occupancy import number_filled
 from ..rtn.current import RtnAmplitudeModel, VanDerZielModel, rtn_current_samples
 from ..rtn.trace import RTNTrace
@@ -53,6 +53,7 @@ from ..traps.propensity import (
     population_propensity,
 )
 from .methodology import MethodologyConfig
+from .resilience import JOB_STATUSES, RetryPolicy, RunCheckpoint, run_jobs
 
 __all__ = [
     "CellEnsembleOutcome",
@@ -95,6 +96,18 @@ class EnsembleConfig:
     methodology:
         Knobs shared with the per-cell methodology (dt, amplitude model,
         thresholds, nominal-current clipping).
+    retry:
+        Retry/backoff/timeout policy for the verification jobs;
+        ``None`` uses :class:`~repro.core.resilience.RetryPolicy`
+        defaults (3 attempts, no timeout).
+    checkpoint_dir:
+        Run directory for periodic snapshots of completed cell
+        outcomes; ``None`` disables checkpointing.
+    checkpoint_every:
+        Snapshot cadence, in completed verification jobs.
+    resume:
+        Load an existing checkpoint from ``checkpoint_dir`` and skip
+        the verification of cells it already covers.
     """
 
     n_cells: int
@@ -107,16 +120,38 @@ class EnsembleConfig:
     workers: int | None = None
     margin_samples: int = 0
     methodology: MethodologyConfig = field(default_factory=MethodologyConfig)
+    retry: RetryPolicy | None = None
+    checkpoint_dir: object | None = None
+    checkpoint_every: int = 8
+    resume: bool = False
 
     def __post_init__(self) -> None:
+        # Plain bad arguments are programming errors (ValueError), not
+        # simulation failures: SimulationError stays reserved for
+        # runtime conditions a retry ladder might fix.
         if self.n_cells <= 0:
-            raise SimulationError("n_cells must be positive")
+            raise ValueError("n_cells must be positive")
         if self.rtn_scale < 0.0:
-            raise SimulationError("rtn_scale must be non-negative")
+            raise ValueError("rtn_scale must be non-negative")
         if not (0.0 <= self.screen_threshold):
-            raise SimulationError("screen_threshold must be non-negative")
+            raise ValueError("screen_threshold must be non-negative")
         if self.margin_samples < 0:
-            raise SimulationError("margin_samples must be non-negative")
+            raise ValueError("margin_samples must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+
+    def fingerprint(self) -> dict:
+        """Identity of a run for checkpoint compatibility checks."""
+        spec = self.spec
+        node = getattr(getattr(spec, "technology", None), "node", None)
+        return {
+            "n_cells": int(self.n_cells),
+            "rtn_scale": float(self.rtn_scale),
+            "screen_threshold": float(self.screen_threshold),
+            "technology": node,
+        }
 
 
 @dataclass
@@ -139,7 +174,7 @@ class CellEnsembleOutcome:
     flagged:
         The metric cleared the screening threshold.
     verified:
-        The cell went through the injected SPICE pass.
+        The cell went through the injected SPICE pass successfully.
     rtn_failures:
         Non-OK operations in the verification pass (0 when not
         verified).
@@ -148,6 +183,23 @@ class CellEnsembleOutcome:
     snm_hold:
         Per-cell hold static noise margin [V] (``None`` unless the cell
         was margin-sampled).
+    status:
+        Resilience verdict: ``ok`` (completed cleanly), ``recovered``
+        (completed after >= 1 retry or solver-ladder rescue),
+        ``failed`` (exhausted retries or hit a non-retryable error) or
+        ``timeout`` (its verification job hung past the budget).  A
+        non-ok status never aborts the ensemble — the cell simply
+        carries its verdict.
+    attempts:
+        Verification tries consumed (0 when the cell was never
+        verified).
+    error:
+        Message of the terminal failure (``None`` unless
+        failed/timeout).
+    error_details:
+        Structured failure context; a
+        :class:`~repro.errors.ConvergenceError` contributes
+        ``iterations`` and ``residual``.
     """
 
     index: int
@@ -160,6 +212,10 @@ class CellEnsembleOutcome:
     rtn_failures: int = 0
     error_slots: list = field(default_factory=list)
     snm_hold: float | None = None
+    status: str = "ok"
+    attempts: int = 0
+    error: str | None = None
+    error_details: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -181,6 +237,9 @@ class EnsembleResult:
         Transistor name -> aggregate
         :class:`~repro.markov.uniformization.UniformizationStats` of the
         batched sweep that simulated all cells' traps on that device.
+    kernel_fallbacks:
+        Transistor name -> error message, for populations whose batched
+        sweep failed and was degraded to the exact scalar kernel.
     """
 
     outcomes: list = field(default_factory=list)
@@ -188,6 +247,7 @@ class EnsembleResult:
     nominal_snm_hold: float = 0.0
     clean_failures: int = 0
     kernel_stats: dict = field(default_factory=dict)
+    kernel_fallbacks: dict = field(default_factory=dict)
 
     @property
     def n_cells(self) -> int:
@@ -223,9 +283,33 @@ class EnsembleResult:
         return np.array([o.snm_hold for o in self.outcomes
                          if o.snm_hold is not None])
 
+    @property
+    def complete(self) -> bool:
+        """Every cell reached a usable outcome (no failed/timeout)."""
+        return all(o.status in ("ok", "recovered") for o in self.outcomes)
+
+    def failure_summary(self) -> dict:
+        """Resilience accounting: status counts plus terminal errors."""
+        counts = {status: 0 for status in JOB_STATUSES}
+        errors = []
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+            if outcome.status not in ("ok", "recovered"):
+                errors.append({"cell": outcome.index,
+                               "status": outcome.status,
+                               "error": outcome.error,
+                               "details": dict(outcome.error_details)})
+        return {
+            "counts": counts,
+            "complete": self.complete,
+            "kernel_fallbacks": dict(self.kernel_fallbacks),
+            "errors": errors,
+        }
+
     def summary(self) -> dict:
         """Compact dictionary for reports and the CLI."""
         metrics = self.screen_metrics()
+        failure = self.failure_summary()
         return {
             "cells": self.n_cells,
             "traps": self.total_traps,
@@ -235,7 +319,40 @@ class EnsembleResult:
             "cell_failure_rate": self.cell_failure_rate,
             "peak_screen_metric": float(metrics.max(initial=0.0)),
             "nominal_snm_hold": self.nominal_snm_hold,
+            "statuses": failure["counts"],
+            "complete": failure["complete"],
         }
+
+
+def _simulate_population(batch, t_start: float, t_stop: float,
+                         rng: np.random.Generator, init: np.ndarray,
+                         name: str, fallbacks: dict):
+    """Batched trap sweep with graceful degradation to the scalar kernel.
+
+    A failure of the vectorised kernel on one transistor's population
+    must not abort the whole ensemble: the exact per-trap scalar loop
+    (same law, slower) re-simulates the affected population, and the
+    degradation is recorded in ``fallbacks`` and announced via
+    :class:`~repro.errors.RecoveredWarning`.
+    """
+    from ..testing import faults
+
+    try:
+        if faults.should("batch", name):
+            raise SimulationError(
+                f"injected batched-kernel fault on {name}")
+        return simulate_traps_batch(batch, t_start, t_stop, rng,
+                                    initial_states=init)
+    except (SimulationError, ModelError, ValueError,
+            FloatingPointError) as exc:
+        fallbacks[name] = str(exc)
+        warnings.warn(RecoveredWarning(
+            f"batched kernel failed on {name}; degraded to the scalar "
+            f"per-trap kernel: {exc}", stage="scalar kernel"),
+            stacklevel=2)
+        propensities = [batch.single(i) for i in range(batch.n_traps)]
+        return _scalar_fallback(propensities, t_start, t_stop, rng,
+                                init, None)
 
 
 def _verify_cell(job: tuple) -> tuple[int, int, list]:
@@ -347,11 +464,15 @@ class EnsembleRunner:
 
         # Step 3: one batched kernel call per transistor name, spanning
         # every cell's population; split and synthesise Eq.-3 currents.
+        from ..testing import faults
+
         tech = spec.technology
         metrics = np.zeros(config.n_cells)
         transitions = np.zeros(config.n_cells, dtype=np.int64)
         traces: list[dict] = [dict() for _ in range(config.n_cells)]
         kernel_stats = {}
+        kernel_fallbacks: dict = {}
+        cell_errors: dict = {}
         for name in names:
             record = biases[name]
             cells_traps = populations[name]
@@ -365,9 +486,9 @@ class EnsembleRunner:
             filled_p = equilibrium_occupancy_population(
                 float(record.v_drive[0]), flat_traps, tech)
             init = (rng.random(len(flat_traps)) < filled_p).astype(np.int8)
-            occupancies, stats = simulate_traps_batch(
+            occupancies, stats = _simulate_population(
                 batch, float(record.times[0]), float(record.times[-1]),
-                rng, initial_states=init)
+                rng, init, name, kernel_fallbacks)
             kernel_stats[name] = stats.aggregate
             params = cell.transistors[name].params
             limit = np.abs(record.i_d)
@@ -385,39 +506,89 @@ class EnsembleRunner:
                 current = current * np.sign(record.i_d) * config.rtn_scale
                 if method.clip_to_nominal:
                     current = np.clip(current, -limit, limit)
+                if faults.should("nan", (name, cell_index)):
+                    current = current + np.nan
+                try:
+                    trace = RTNTrace(times=record.times, current=current,
+                                     label=name)
+                except ModelError as exc:
+                    # A corrupted trace costs one cell, never the run:
+                    # the cell is excluded from verification and carries
+                    # its failure in the per-cell status.
+                    cell_errors[cell_index] = (
+                        f"RTN trace for {name} rejected: {exc}")
+                    continue
                 metric = float(np.max(np.abs(current))) / peak_i
                 if metric > metrics[cell_index]:
                     metrics[cell_index] = metric
-                traces[cell_index][name] = RTNTrace(
-                    times=record.times, current=current, label=name)
+                traces[cell_index][name] = trace
 
-        # Step 4: verify the flagged cells through the injected pass.
+        # Step 4: verify the flagged cells through the injected pass,
+        # fault-isolated: one diverging or crashing verification costs
+        # (at most) one cell, and completed cells checkpoint to disk.
         flagged = metrics >= config.screen_threshold
         order = np.argsort(-metrics)
         verify = [int(i) for i in order if flagged[i] and traces[i]]
         if config.max_verified_cells is not None:
             verify = verify[:config.max_verified_cells]
+
+        checkpoint = None
+        verdicts: dict = {}
+        if config.checkpoint_dir is not None:
+            checkpoint = RunCheckpoint(config.checkpoint_dir)
+            if config.resume and checkpoint.exists():
+                for index, record in checkpoint.load(
+                        config.fingerprint()).items():
+                    verdicts[int(index)] = record
+        pending = [i for i in verify if i not in verdicts]
         jobs = [(i, dataclasses.replace(spec, vt_shifts=shifts[i]),
                  pattern, traces[i], method.dt, method.record_every,
-                 method.thresholds) for i in verify]
-        verdicts = {}
-        if config.workers and config.workers > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=config.workers) as pool:
-                for index, failures, errors in pool.map(_verify_cell, jobs):
-                    verdicts[index] = (failures, errors)
-        else:
-            for job in jobs:
-                index, failures, errors = _verify_cell(job)
-                verdicts[index] = (failures, errors)
+                 method.thresholds) for i in pending]
+
+        completed_since_save = 0
+
+        def on_result(job_result) -> None:
+            nonlocal completed_since_save
+            index = int(job_result.key)
+            if job_result.succeeded:
+                _, failures, errors = job_result.value
+                record = {"status": job_result.status, "failures": failures,
+                          "error_slots": list(errors)}
+            else:
+                record = {"status": job_result.status, "failures": 0,
+                          "error_slots": [], "error": job_result.error,
+                          "error_type": job_result.error_type,
+                          "error_details": dict(job_result.error_details)}
+            record["attempts"] = job_result.attempts
+            verdicts[index] = record
+            if checkpoint is not None:
+                checkpoint.add(index, record)
+                completed_since_save += 1
+                if completed_since_save >= config.checkpoint_every:
+                    checkpoint.save(config.fingerprint())
+                    completed_since_save = 0
+
+        run_jobs(_verify_cell, jobs, keys=pending, workers=config.workers,
+                 policy=config.retry or RetryPolicy(), on_result=on_result)
+        if checkpoint is not None:
+            checkpoint.save(config.fingerprint())
 
         # Step 5: margins.
         nominal_snm = static_noise_margin(spec, mode="hold")
         result = EnsembleResult(n_slots=len(pattern.operations),
                                 nominal_snm_hold=nominal_snm,
                                 clean_failures=clean_failures,
-                                kernel_stats=kernel_stats)
+                                kernel_stats=kernel_stats,
+                                kernel_fallbacks=kernel_fallbacks)
         for index in range(config.n_cells):
-            failures, errors = verdicts.get(index, (0, []))
+            record = verdicts.get(index, {})
+            status = record.get("status", "ok")
+            error = record.get("error")
+            details = dict(record.get("error_details") or {})
+            if index in cell_errors and status in ("ok", "recovered"):
+                # A corrupted trace makes the cell's screening (and any
+                # verification built on it) untrustworthy.
+                status, error = "failed", cell_errors[index]
             snm = None
             if index < config.margin_samples:
                 snm = static_noise_margin(
@@ -430,7 +601,10 @@ class EnsembleRunner:
                 transitions=int(transitions[index]),
                 screen_metric=float(metrics[index]),
                 flagged=bool(flagged[index]),
-                verified=index in verdicts,
-                rtn_failures=failures, error_slots=errors,
-                snm_hold=snm))
+                verified=status in ("ok", "recovered") and index in verdicts,
+                rtn_failures=int(record.get("failures", 0)),
+                error_slots=list(record.get("error_slots", [])),
+                snm_hold=snm, status=status,
+                attempts=int(record.get("attempts", 0)),
+                error=error, error_details=details))
         return result

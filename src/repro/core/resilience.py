@@ -1,0 +1,578 @@
+"""Fault-tolerant job execution and run checkpointing.
+
+The ensemble's statistical value depends on *completing* large cell
+populations: one diverging Newton solve or one crashed pool worker must
+cost one cell (at worst), never the run.  This module provides the two
+pieces the engine threads through:
+
+- :func:`run_jobs` — an executor wrapper that retries transient
+  failures with exponential backoff, survives a broken process pool by
+  respawning it and requeueing the in-flight jobs, enforces a per-job
+  wall-clock timeout on hung workers, and always returns one
+  :class:`JobResult` per job with a terminal ``status`` of
+  ``ok | recovered | failed | timeout``;
+- :class:`RunCheckpoint` — an atomic npz + JSON snapshot of completed
+  job records, so a killed run can resume without recomputing finished
+  cells.
+
+Both are engine-agnostic: jobs are picklable payloads, records are
+JSON-able dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..errors import (
+    ConvergenceError,
+    SimulationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+
+__all__ = [
+    "JobResult",
+    "RetryPolicy",
+    "RunCheckpoint",
+    "run_jobs",
+]
+
+#: Poll interval of the pool supervision loop [s].
+_TICK = 0.05
+
+#: Terminal job statuses, in "worst wins" order for summaries.
+JOB_STATUSES = ("ok", "recovered", "failed", "timeout")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard :func:`run_jobs` fights for each job.
+
+    Attributes
+    ----------
+    attempts:
+        Total tries per job (1 = no retry).
+    backoff:
+        Base delay before retry ``k`` (``backoff * factor**(k-1)``) [s].
+    backoff_factor:
+        Exponential backoff multiplier.
+    timeout:
+        Per-job wall-clock budget once the job is *running* [s];
+        ``None`` disables timeout supervision.
+    retry_on:
+        Exception types worth retrying.  Everything else (programming
+        errors, model-validity errors) fails the job immediately.
+        Worker crashes and timeouts are always retryable.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    timeout: float | None = None
+    retry_on: tuple = (SimulationError, OSError)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff < 0.0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ValueError("timeout must be positive when given")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt`` (first attempt is 1)."""
+        if attempt <= 1 or self.backoff <= 0.0:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 2)
+
+    def retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on + (WorkerCrashError,
+                                                  WorkerTimeoutError))
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job.
+
+    Attributes
+    ----------
+    key:
+        Caller-chosen identifier (the ensemble uses the cell index).
+    status:
+        ``ok`` (first try), ``recovered`` (succeeded after >= 1 retry),
+        ``failed`` (exhausted or non-retryable) or ``timeout`` (last
+        failure was a hang).
+    value:
+        The job function's return value (``None`` unless ok/recovered).
+    error:
+        Human-readable message of the last failure.
+    error_type:
+        Class name of the last failure.
+    error_details:
+        Structured context of the last failure — for
+        :class:`~repro.errors.ConvergenceError` this carries
+        ``iterations`` and ``residual`` through to the caller.
+    attempts:
+        Tries actually consumed.
+    elapsed:
+        Wall-clock from first submission to terminal status [s].
+    """
+
+    key: object
+    status: str = "ok"
+    value: object | None = None
+    error: str | None = None
+    error_type: str | None = None
+    error_details: dict = field(default_factory=dict)
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "recovered")
+
+
+def _error_details(error: BaseException) -> dict:
+    details: dict = {}
+    if isinstance(error, ConvergenceError):
+        details["iterations"] = error.iterations
+        details["residual"] = error.residual
+    return details
+
+
+def _execute_job(fn: Callable, payload, key, attempt: int, plan):
+    """Worker-side shim: arm fault injection, fire sites, run the job.
+
+    Module-level and fully picklable; ``plan`` travels with every
+    submission so injection decisions are made *in the worker* under any
+    multiprocessing start method, keyed by ``(site, key, attempt)``.
+    """
+    from ..testing import faults
+
+    previous = faults.active()
+    if plan is not None:
+        faults.install(plan)
+    try:
+        faults.fire("worker", key, attempt)
+        faults.fire("hang", key, attempt)
+        faults.fire("job", key, attempt)
+        return fn(payload)
+    finally:
+        if plan is not None:
+            faults.install(previous)
+
+
+def _finish(result: JobResult, error: BaseException | None,
+            attempt: int, started: float, timed_out: bool = False) -> None:
+    result.attempts = attempt
+    result.elapsed = time.monotonic() - started
+    if error is None:
+        result.status = "ok" if attempt == 1 else "recovered"
+        return
+    result.status = "timeout" if timed_out else "failed"
+    result.value = None
+    result.error = str(error)
+    result.error_type = type(error).__name__
+    result.error_details = _error_details(error)
+
+
+def run_jobs(fn: Callable, jobs, *, keys=None, workers: int | None = None,
+             policy: RetryPolicy | None = None,
+             on_result: Callable | None = None) -> list:
+    """Run ``fn(job)`` over every job, surviving worker failures.
+
+    Parameters
+    ----------
+    fn:
+        Picklable job function of one payload argument.
+    jobs:
+        Sequence of picklable payloads.
+    keys:
+        Per-job identifiers for results and fault-site decisions;
+        defaults to the job index.
+    workers:
+        Process count; ``None``/``0``/``1`` runs in-process (a single
+        helper thread supervises the timeout when one is configured).
+    policy:
+        Retry/backoff/timeout policy; defaults to ``RetryPolicy()``.
+    on_result:
+        Callback invoked with each :class:`JobResult` as it reaches a
+        terminal status, in completion order — the ensemble's
+        incremental checkpoint hook.
+
+    Returns
+    -------
+    list of :class:`JobResult`, in **job order** (not completion order),
+    one per job, always — this function does not raise on job failure.
+    """
+    jobs = list(jobs)
+    keys = list(keys) if keys is not None else list(range(len(jobs)))
+    if len(keys) != len(jobs):
+        raise ValueError("keys must match jobs one-to-one")
+    policy = policy or RetryPolicy()
+    if not jobs:
+        return []
+    if workers and workers > 1:
+        results = _run_pool(fn, jobs, keys, int(workers), policy, on_result)
+    else:
+        results = _run_serial(fn, jobs, keys, policy, on_result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# In-process path.
+
+def _call_with_timeout(fn, payload, key, attempt, plan, timeout):
+    """Run one job, enforcing ``timeout`` via a helper thread.
+
+    A hung job's thread cannot be killed; it is abandoned (daemonised)
+    and the job reported as timed out — mirroring what the pool path
+    does by terminating the worker process.
+    """
+    if timeout is None:
+        return _execute_job(fn, payload, key, attempt, plan)
+    import threading
+
+    outcome: dict = {}
+
+    def target() -> None:
+        try:
+            outcome["value"] = _execute_job(fn, payload, key, attempt, plan)
+        except BaseException as exc:  # noqa: B036 - relayed to the caller
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise WorkerTimeoutError(
+            f"job {key!r} exceeded its {timeout:g}s budget",
+            timeout=timeout, attempts=attempt)
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
+
+
+def _run_serial(fn, jobs, keys, policy, on_result) -> list:
+    from ..testing import faults
+
+    plan = faults.active()
+    results = []
+    for payload, key in zip(jobs, keys):
+        result = JobResult(key=key)
+        started = time.monotonic()
+        for attempt in range(1, policy.attempts + 1):
+            delay = policy.delay(attempt)
+            if delay:
+                time.sleep(delay)
+            try:
+                result.value = _call_with_timeout(
+                    fn, payload, key, attempt, plan, policy.timeout)
+            except BaseException as exc:  # noqa: B036 - classified below
+                last, timed_out = exc, isinstance(exc, WorkerTimeoutError)
+                if attempt >= policy.attempts or not policy.retryable(exc):
+                    _finish(result, last, attempt, started, timed_out)
+                    break
+            else:
+                _finish(result, None, attempt, started)
+                break
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Process-pool path.
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool, killing workers that ignore shutdown (hangs)."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
+    from ..testing import faults
+
+    plan = faults.active()
+    results = {i: JobResult(key=keys[i]) for i in range(len(jobs))}
+    first_started = {i: None for i in range(len(jobs))}
+    # (job index, attempt, earliest submit time)
+    queue: deque = deque((i, 1, 0.0) for i in range(len(jobs)))
+    terminal: set = set()
+    pool = ProcessPoolExecutor(max_workers=workers)
+    in_flight: dict = {}   # future -> (index, attempt)
+    running_since: dict = {}  # future -> monotonic time first seen running
+    # (index, attempt) pairs already requeued for free after a pool
+    # break they provably did not cause (their future never ran).  One
+    # grant per attempt bounds the free rides: a crasher that slips
+    # through unobserved gets charged on the next break.
+    requeue_grants: set = set()
+
+    def crash_or_requeue(ran: bool, index: int, attempt: int,
+                         error: BaseException) -> None:
+        """Handle one in-flight job taken down by a pool break.
+
+        Jobs never observed running did no work and cannot have killed
+        the worker: requeue them at the same attempt, once.  Everything
+        else is charged an attempt — guaranteeing forward progress even
+        when the crashing job cannot be identified.
+        """
+        if not ran and (index, attempt) not in requeue_grants:
+            requeue_grants.add((index, attempt))
+            queue.append((index, attempt, 0.0))
+            return
+        settle(index, attempt, error)
+
+    def settle(index: int, attempt: int,
+               error: BaseException | None, timed_out: bool = False,
+               value=None) -> None:
+        """Record one attempt's outcome; requeue or finalise."""
+        result = results[index]
+        now = time.monotonic()
+        if first_started[index] is None:
+            first_started[index] = now
+        if error is not None and attempt < policy.attempts \
+                and policy.retryable(error):
+            queue.append((index, attempt + 1,
+                          now + policy.delay(attempt + 1)))
+            return
+        if error is None:
+            result.value = value
+        _finish(result, error, attempt, first_started[index], timed_out)
+        terminal.add(index)
+        if on_result is not None:
+            on_result(result)
+
+    def respawn() -> ProcessPoolExecutor:
+        _terminate_pool(pool)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while queue or in_flight:
+            now = time.monotonic()
+            # Submit whatever is ready (respect backoff timestamps).
+            for _ in range(len(queue)):
+                if len(in_flight) >= 2 * workers:
+                    break
+                index, attempt, ready_at = queue.popleft()
+                if ready_at > now:
+                    queue.append((index, attempt, ready_at))
+                    continue
+                if first_started[index] is None:
+                    first_started[index] = now
+                try:
+                    future = pool.submit(_execute_job, fn, jobs[index],
+                                         keys[index], attempt, plan)
+                except Exception:
+                    # Pool already broke; put the job back and respawn.
+                    queue.appendleft((index, attempt, ready_at))
+                    for other, (i, a) in list(in_flight.items()):
+                        crash_or_requeue(other in running_since, i, a,
+                                         WorkerCrashError(
+                                             f"worker pool broke under job "
+                                             f"{keys[i]!r}",
+                                             attempts=a))
+                    in_flight.clear()
+                    running_since.clear()
+                    pool = respawn()
+                    break
+                in_flight[future] = (index, attempt)
+            if not in_flight:
+                time.sleep(_TICK)
+                continue
+
+            done, _ = wait(list(in_flight), timeout=_TICK,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                index, attempt = in_flight.pop(future)
+                ran = running_since.pop(future, None) is not None
+                error = future.exception()
+                if error is None:
+                    settle(index, attempt, None, value=future.result())
+                elif isinstance(error, BrokenProcessPool):
+                    # The break resolves *every* future, pending ones
+                    # included — only charge jobs that actually ran.
+                    broken = True
+                    crash_or_requeue(ran, index, attempt, WorkerCrashError(
+                        f"worker died while running job {keys[index]!r}",
+                        attempts=attempt))
+                else:
+                    settle(index, attempt, error)
+
+            # Timeout supervision: a hung worker can only be cleared by
+            # killing the pool, so one expired job costs a respawn.
+            now = time.monotonic()
+            expired: list = []
+            for future, (index, attempt) in list(in_flight.items()):
+                if future.running() and future not in running_since:
+                    running_since[future] = now
+                since = running_since.get(future)
+                if policy.timeout is not None and since is not None \
+                        and now - since > policy.timeout:
+                    expired.append((future, index, attempt))
+            if expired:
+                broken = True
+                for future, index, attempt in expired:
+                    in_flight.pop(future, None)
+                    running_since.pop(future, None)
+                    settle(index, attempt, WorkerTimeoutError(
+                        f"job {keys[index]!r} exceeded its "
+                        f"{policy.timeout:g}s budget",
+                        timeout=policy.timeout, attempts=attempt),
+                        timed_out=True)
+
+            if broken:
+                # A broken pool takes every in-flight job down with it.
+                # Jobs seen running are charged an attempt; the rest ride
+                # their one free requeue (see crash_or_requeue).
+                for future, (index, attempt) in list(in_flight.items()):
+                    crash_or_requeue(future in running_since, index,
+                                     attempt, WorkerCrashError(
+                                         f"worker pool broke under job "
+                                         f"{keys[index]!r}",
+                                         attempts=attempt))
+                in_flight.clear()
+                running_since.clear()
+                pool = respawn()
+    finally:
+        _terminate_pool(pool)
+    return [results[i] for i in range(len(jobs))]
+
+
+# ----------------------------------------------------------------------
+# Checkpointing.
+
+class RunCheckpoint:
+    """Atomic npz + JSON snapshot of completed job records.
+
+    Layout of the run directory::
+
+        <dir>/manifest.json   # fingerprint + every record (JSON-able)
+        <dir>/outcomes.npz    # numeric per-record arrays for bulk loads
+
+    ``manifest.json`` is the source of truth; ``outcomes.npz`` mirrors
+    the numeric fields (``index``, ``attempts``, plus any record values
+    that are ints/floats) for consumers that want arrays.  Writes are
+    atomic (temp file + ``os.replace``), so a kill mid-snapshot leaves
+    the previous snapshot intact.
+    """
+
+    MANIFEST = "manifest.json"
+    OUTCOMES = "outcomes.npz"
+    VERSION = 1
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self._records: dict = {}
+        self._fingerprint: dict = {}
+
+    # -- state -----------------------------------------------------------
+    @property
+    def records(self) -> dict:
+        """Completed records, ``index -> dict``."""
+        return dict(self._records)
+
+    def completed(self) -> set:
+        return set(self._records)
+
+    def add(self, index: int, record: dict) -> None:
+        self._records[int(index)] = record
+
+    def exists(self) -> bool:
+        return (self.directory / self.MANIFEST).is_file()
+
+    # -- persistence -----------------------------------------------------
+    def save(self, fingerprint: dict | None = None) -> None:
+        """Snapshot the current records atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if fingerprint is not None:
+            self._fingerprint = dict(fingerprint)
+        manifest = {
+            "version": self.VERSION,
+            "fingerprint": self._fingerprint,
+            "completed": sorted(self._records),
+            "records": {str(k): v for k, v in self._records.items()},
+        }
+        self._write_atomic(self.MANIFEST,
+                           json.dumps(manifest, indent=2, sort_keys=True,
+                                      default=_json_default).encode())
+        indices = np.array(sorted(self._records), dtype=np.int64)
+        arrays = {"index": indices}
+        numeric = sorted({key for record in self._records.values()
+                          for key, value in record.items()
+                          if isinstance(value, (int, float, np.integer,
+                                                np.floating))
+                          and not isinstance(value, bool)})
+        for key in numeric:
+            arrays[key] = np.array(
+                [float(self._records[i].get(key, np.nan)) for i in indices])
+        import io
+
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        self._write_atomic(self.OUTCOMES, buffer.getvalue())
+
+    def load(self, expected_fingerprint: dict | None = None) -> dict:
+        """Load the snapshot; verify it belongs to the same run config.
+
+        Raises
+        ------
+        ValueError
+            If the stored fingerprint disagrees with
+            ``expected_fingerprint`` (resuming into a different run
+            would silently mix incompatible cells).
+        """
+        path = self.directory / self.MANIFEST
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != self.VERSION:
+            raise ValueError(
+                f"checkpoint {path} has unsupported version "
+                f"{manifest.get('version')!r}")
+        stored = manifest.get("fingerprint", {})
+        if expected_fingerprint is not None:
+            mismatched = {key: (stored.get(key), value)
+                          for key, value in expected_fingerprint.items()
+                          if stored.get(key) != value}
+            if mismatched:
+                raise ValueError(
+                    f"checkpoint {path} was written by a different run "
+                    f"configuration: {mismatched}")
+        self._fingerprint = stored
+        self._records = {int(k): v
+                         for k, v in manifest.get("records", {}).items()}
+        return self.records
+
+    def _write_atomic(self, name: str, payload: bytes) -> None:
+        path = self.directory / name
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        with open(temporary, "wb") as handle:
+            handle.write(payload)
+        os.replace(temporary, path)
+
+
+def _json_default(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")

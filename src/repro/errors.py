@@ -30,6 +30,44 @@ class ConvergenceError(SimulationError):
         self.residual = residual
 
 
+class WorkerTimeoutError(SimulationError):
+    """A sharded job exceeded its per-job wall-clock budget.
+
+    Raised (or recorded on the job outcome) by the fault-tolerant
+    executor when a worker hangs past :attr:`RetryPolicy.timeout`.
+    """
+
+    def __init__(self, message: str, timeout: float | None = None,
+                 attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+        self.attempts = attempts
+
+
+class WorkerCrashError(SimulationError):
+    """A worker process died mid-job (broken process pool)."""
+
+    def __init__(self, message: str, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class RecoveredWarning(UserWarning):
+    """A solver or executor recovered from a failure via its ladder.
+
+    Carries enough context (``stage``, ``iterations``, ``residual``) for
+    logs to say *how* the recovery happened, not just that it did.
+    """
+
+    def __init__(self, message: str, stage: str | None = None,
+                 iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.iterations = iterations
+        self.residual = residual
+
+
 class NetlistError(ReproError):
     """A circuit description is malformed (unknown node, bad card, ...)."""
 

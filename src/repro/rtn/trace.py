@@ -43,8 +43,13 @@ class RTNTrace:
             )
         if np.any(np.diff(times) <= 0.0):
             raise ModelError("times must be strictly increasing")
-        if not np.all(np.isfinite(current)):
-            raise ModelError("current samples must be finite")
+        finite = np.isfinite(current)
+        if not np.all(finite):
+            bad = int(current.size - np.count_nonzero(finite))
+            label = f" in trace {self.label!r}" if self.label else ""
+            raise ModelError(
+                f"current samples must be finite: {bad} of "
+                f"{current.size} samples are NaN/inf{label}")
         object.__setattr__(self, "times", times)
         object.__setattr__(self, "current", current)
 

@@ -6,16 +6,25 @@ iteration is a fixed point of ``x -> solve(A(x), z(x))``.  Convergence
 is declared on the unknown-vector change; a per-iteration voltage-step
 limit provides the damping that keeps exponential devices from
 overshooting.
+
+On failure, an optional :class:`NewtonRecovery` ladder escalates
+through progressively heavier continuation strategies before giving
+up — tighter damping, source-stepping homotopy, and finally a fallback
+to the last converged operating point.  Every rung that succeeds emits
+a :class:`~repro.errors.RecoveredWarning` carrying the stage that
+saved the solve.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, RecoveredWarning
 
 
 @dataclass(frozen=True)
@@ -40,9 +49,65 @@ class NewtonOptions:
     max_step: float = 0.5
 
 
+@dataclass(frozen=True)
+class NewtonRecovery:
+    """Escalation ladder applied when the plain Newton solve fails.
+
+    The rungs run in order and the first converged solution wins:
+
+    1. **Tighter damping** — re-run with each ``max_step`` in
+       :attr:`damping_ladder` and an enlarged iteration budget.  Cheap,
+       and rescues most oscillating iterations.
+    2. **Source stepping** — if :attr:`source_stepping` is given, ramp
+       the independent sources from a fraction of full bias up to 1.0,
+       re-converging at each level from the previous solution (the
+       homotopy production SPICE uses for hopeless starts).
+    3. **Fallback** — if :attr:`fallback` is given, return a copy of it
+       (the last converged operating point) instead of raising.  This
+       trades accuracy for survival and is therefore always announced
+       via :class:`~repro.errors.RecoveredWarning`.
+
+    Attributes
+    ----------
+    damping_ladder:
+        ``max_step`` values to try, tightest last.
+    iteration_boost:
+        Multiplier on ``max_iterations`` for recovery attempts (tighter
+        damping needs more, smaller steps).
+    source_stepping:
+        ``scale -> assemble`` factory: given a source scale in
+        ``(0, 1]``, returns an assembler with every independent source
+        scaled by it.  ``None`` skips the homotopy rung.
+    source_steps:
+        Number of ramp levels for the homotopy.
+    fallback:
+        Last converged unknown vector, or ``None`` to skip the rung.
+    warn:
+        Emit :class:`~repro.errors.RecoveredWarning` when a rung other
+        than the plain solve produced the result.
+    """
+
+    damping_ladder: tuple = (0.1, 0.02)
+    iteration_boost: int = 3
+    source_stepping: Callable | None = None
+    source_steps: int = 8
+    fallback: np.ndarray | None = None
+    warn: bool = True
+
+
+def _warn_recovered(recover: NewtonRecovery, stage: str,
+                    error: ConvergenceError) -> None:
+    if recover.warn:
+        warnings.warn(RecoveredWarning(
+            f"Newton recovered via {stage} after: {error}", stage=stage,
+            iterations=error.iterations, residual=error.residual),
+            stacklevel=3)
+
+
 def solve_newton(assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
                  x0: np.ndarray,
-                 options: NewtonOptions | None = None) -> np.ndarray:
+                 options: NewtonOptions | None = None,
+                 recover: NewtonRecovery | None = None) -> np.ndarray:
     """Solve the nonlinear MNA system from the initial guess ``x0``.
 
     Parameters
@@ -54,28 +119,86 @@ def solve_newton(assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
         Initial guess for the unknown vector (not mutated).
     options:
         Tolerances and damping; defaults are SPICE-like.
+    recover:
+        Optional escalation ladder applied on failure (see
+        :class:`NewtonRecovery`).  ``None`` keeps the historical
+        fail-fast behaviour.
 
     Raises
     ------
     ConvergenceError
-        If the iteration budget is exhausted or the linear solve fails.
+        If the iteration budget is exhausted or the linear solve fails
+        (and every configured recovery rung also failed).  The error
+        always carries the last known unknown-vector change as
+        ``residual`` (``None`` only if no iterate was ever produced).
     """
     opts = options or NewtonOptions()
+    try:
+        return _newton_once(assemble, x0, opts)
+    except ConvergenceError as error:
+        if recover is None:
+            raise
+        first_error = error
+
+    # Rung 1: tighter damping with a bigger iteration budget.
+    boosted = max(opts.max_iterations,
+                  opts.max_iterations * max(1, recover.iteration_boost))
+    for max_step in recover.damping_ladder:
+        try:
+            x = _newton_once(
+                assemble, x0,
+                dataclasses.replace(opts, max_step=float(max_step),
+                                    max_iterations=boosted))
+        except ConvergenceError:
+            continue
+        _warn_recovered(recover, f"damping (max_step={max_step:g})",
+                        first_error)
+        return x
+
+    # Rung 2: source-stepping homotopy from a softened bias.
+    if recover.source_stepping is not None and recover.source_steps > 0:
+        x = np.array(x0, dtype=float, copy=True)
+        ramp_opts = dataclasses.replace(opts, max_iterations=boosted)
+        for scale in np.linspace(1.0 / recover.source_steps, 1.0,
+                                 recover.source_steps):
+            try:
+                x = _newton_once(recover.source_stepping(float(scale)), x,
+                                 ramp_opts)
+            except ConvergenceError:
+                break
+        else:
+            _warn_recovered(recover, "source stepping", first_error)
+            return x
+
+    # Rung 3: hold the last converged operating point.
+    if recover.fallback is not None:
+        _warn_recovered(recover, "fallback to last converged point",
+                        first_error)
+        return np.array(recover.fallback, dtype=float, copy=True)
+
+    raise first_error
+
+
+def _newton_once(assemble: Callable, x0: np.ndarray,
+                 opts: NewtonOptions) -> np.ndarray:
+    """One plain damped-Newton run (no recovery)."""
     x = np.array(x0, dtype=float, copy=True)
-    last_change = np.inf
+    last_change: float | None = None
     for iteration in range(opts.max_iterations):
         matrix, rhs = assemble(x)
         try:
             x_new = np.linalg.solve(matrix, rhs)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
-                f"singular MNA matrix at Newton iteration {iteration}",
-                iterations=iteration,
+                f"singular MNA matrix at Newton iteration {iteration}"
+                + (f" (last change {last_change:.3g})"
+                   if last_change is not None else ""),
+                iterations=iteration, residual=last_change,
             ) from exc
         if not np.all(np.isfinite(x_new)):
             raise ConvergenceError(
                 f"non-finite solution at Newton iteration {iteration}",
-                iterations=iteration,
+                iterations=iteration, residual=last_change,
             )
         delta = x_new - x
         step = np.abs(delta).max(initial=0.0)
@@ -90,12 +213,13 @@ def solve_newton(assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
             x = x + delta
         else:
             x = x_new
-        last_change = np.abs(delta).max(initial=0.0)
+        last_change = float(np.abs(delta).max(initial=0.0))
         tolerance = opts.abstol + opts.reltol * np.abs(x).max(initial=0.0)
         if last_change <= tolerance:
             return x
     raise ConvergenceError(
-        f"Newton failed to converge in {opts.max_iterations} iterations "
-        f"(last change {last_change:.3g})",
-        iterations=opts.max_iterations, residual=float(last_change),
+        f"Newton failed to converge in {opts.max_iterations} iterations"
+        + (f" (last change {last_change:.3g})"
+           if last_change is not None else ""),
+        iterations=opts.max_iterations, residual=last_change,
     )

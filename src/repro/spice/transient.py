@@ -21,9 +21,9 @@ import numpy as np
 
 from ..errors import ConvergenceError, SimulationError
 from .circuit import Circuit
-from .elements import IntegrationCoeff
+from .elements import CurrentSource, IntegrationCoeff, VoltageSource
 from .mna import Stamper
-from .newton import NewtonOptions, solve_newton
+from .newton import NewtonOptions, NewtonRecovery, solve_newton
 from .waveform import Waveform
 
 #: Permanent conductance to ground on every node [S].
@@ -47,6 +47,17 @@ class TransientOptions:
         Newton tolerances.
     record_every:
         Keep every k-th accepted step in the output (1 = all).
+    recovery:
+        After the halving budget is exhausted, make one last-ditch
+        attempt through the full :class:`NewtonRecovery` ladder
+        (tighter damping, then source-stepping homotopy) before
+        surfacing the error.
+    hold_on_stall:
+        Last rung of the ladder: accept the previous converged solution
+        for the stalled step (freezes the state for one step instead of
+        aborting the whole transient).  Off by default — it trades
+        accuracy for survival and is announced via
+        :class:`~repro.errors.RecoveredWarning` when it fires.
     pre_step:
         Optional hook ``f(t, x)`` called once before each nominal step
         with the current time and solution vector.  It may mutate
@@ -60,6 +71,8 @@ class TransientOptions:
     max_halvings: int = 10
     newton: NewtonOptions = NewtonOptions()
     record_every: int = 1
+    recovery: bool = True
+    hold_on_stall: bool = False
     pre_step: Callable | None = None
 
     def __post_init__(self) -> None:
@@ -69,6 +82,35 @@ class TransientOptions:
             raise SimulationError("step counts must be non-negative")
         if self.record_every < 1:
             raise SimulationError("record_every must be >= 1")
+
+
+def _recover_step(assemble_factory, sub_t: float, sub_step: float,
+                  method: str, x: np.ndarray, opts: TransientOptions,
+                  error: ConvergenceError) -> np.ndarray:
+    """Last-ditch ladder for a step that survived no halving.
+
+    Escalates through tighter damping and source-stepping homotopy
+    (plus an optional hold-state fallback), and otherwise re-raises a
+    :class:`~repro.errors.ConvergenceError` that keeps the failing
+    solve's iteration/residual metadata — per-cell outcomes downstream
+    report *why* the cell died, not just that it did.
+    """
+    coeff = IntegrationCoeff(method=method, dt=sub_step)
+    if opts.recovery:
+        recover = NewtonRecovery(
+            source_stepping=lambda scale: assemble_factory(
+                sub_t + sub_step, coeff, source_scale=scale),
+            fallback=x if opts.hold_on_stall else None)
+        try:
+            return solve_newton(assemble_factory(sub_t + sub_step, coeff),
+                                x, opts.newton, recover=recover)
+        except ConvergenceError as exc:
+            error = exc
+    raise ConvergenceError(
+        f"transient stalled at t={sub_t:.6g}s: Newton failed after "
+        f"{opts.max_halvings} halvings ({error})",
+        iterations=error.iterations, residual=error.residual,
+    ) from error
 
 
 def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
@@ -123,13 +165,28 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     for element in circuit.elements:
         element.init_history(x, history)
 
-    def assemble_factory(t_new: float, coeff: IntegrationCoeff):
+    def assemble_factory(t_new: float, coeff: IntegrationCoeff,
+                         source_scale: float = 1.0):
         def assemble(x_guess: np.ndarray):
             stamper = Stamper(n)
             for node in range(circuit.n_nodes):
                 stamper.add_matrix(node, node, GMIN_FLOOR)
+            if source_scale == 1.0:
+                for element in circuit.elements:
+                    element.stamp(stamper, x_guess, t_new, coeff, history)
+                return stamper.matrix, stamper.rhs
+            # Source-stepping homotopy: independent sources write their
+            # targets only to the RHS, so scaling just *their* RHS ramps
+            # the stimuli without touching nonlinear-device stamps
+            # (mirrors the DC operating-point continuation).
+            sources = Stamper(n)
             for element in circuit.elements:
-                element.stamp(stamper, x_guess, t_new, coeff, history)
+                if isinstance(element, (VoltageSource, CurrentSource)):
+                    element.stamp(sources, x_guess, t_new, coeff, history)
+                else:
+                    element.stamp(stamper, x_guess, t_new, coeff, history)
+            stamper.matrix += sources.matrix
+            stamper.rhs += source_scale * sources.rhs
             return stamper.matrix, stamper.rhs
         return assemble
 
@@ -153,15 +210,14 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
             try:
                 x_new = solve_newton(
                     assemble_factory(sub_t + sub_step, coeff), x, opts.newton)
-            except ConvergenceError:
+            except ConvergenceError as error:
                 halvings += 1
                 if halvings > opts.max_halvings:
-                    raise SimulationError(
-                        f"transient stalled at t={sub_t:.6g}s: Newton "
-                        f"failed after {opts.max_halvings} halvings"
-                    ) from None
-                method = "be"  # BE is more robust while struggling
-                continue
+                    x_new = _recover_step(assemble_factory, sub_t, sub_step,
+                                          method, x, opts, error)
+                else:
+                    method = "be"  # BE is more robust while struggling
+                    continue
             for element in circuit.elements:
                 element.update_history(x_new, coeff, history)
             x = x_new

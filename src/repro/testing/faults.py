@@ -1,0 +1,167 @@
+"""Deterministic fault injection for resilience testing.
+
+The ensemble engine and the fault-tolerant executor expose a handful of
+*fault sites* — named points where, under test, a failure can be forced:
+
+``job``
+    Raise a :class:`~repro.errors.ConvergenceError` before a sharded job
+    body runs (models a cell whose verification transient diverges).
+``worker``
+    Kill the hosting worker process with ``os._exit`` (models a crashed
+    pool worker; in-process execution raises
+    :class:`~repro.errors.WorkerCrashError` instead, since taking down
+    the interpreter would take the test with it).
+``hang``
+    Sleep for :attr:`FaultPlan.hang_seconds` (models a hung worker that
+    only a per-job timeout can clear).
+``batch``
+    Report a fault at the batched trap kernel so the ensemble degrades
+    to the exact scalar per-trap kernel.
+``nan``
+    Report a fault at RTN-trace synthesis so the affected cell's current
+    samples are corrupted to NaN (exercises the non-finite guard in
+    :class:`~repro.rtn.trace.RTNTrace`).
+
+Decisions are *deterministic*: each is a hash of
+``(seed, site, key, attempt)``, so a given cell faults (or not)
+regardless of which worker picks it up, in which order, or whether the
+pool has been respawned — and a retry of the same job gets a fresh,
+independent draw.  That is what makes "crash 20 % of verify workers"
+reproducible across runs and resumes.
+
+Usage::
+
+    from repro.testing.faults import inject_faults
+
+    with inject_faults(crash_rate=0.2, convergence_rate=0.1, seed=7):
+        result = EnsembleRunner(config).run(rng)
+
+The harness is inert (near-zero overhead, a single ``is None`` check)
+outside the context manager.  Plans cross process boundaries explicitly:
+the executor snapshots the active plan with :func:`active` and installs
+it in each worker via :func:`install`, so injection works under any
+multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..errors import ConvergenceError, WorkerCrashError
+
+__all__ = [
+    "FaultPlan",
+    "active",
+    "fire",
+    "inject_faults",
+    "install",
+    "should",
+]
+
+#: The armed plan, or ``None`` (the common, inert case).
+_ACTIVE: "FaultPlan | None" = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates and knobs of one injection campaign.
+
+    Attributes
+    ----------
+    seed:
+        Decision-hash seed; same seed, same faults.
+    convergence_rate:
+        Probability a ``job`` site raises :class:`ConvergenceError`.
+    crash_rate:
+        Probability a ``worker`` site kills its process.
+    hang_rate:
+        Probability a ``hang`` site sleeps.
+    hang_seconds:
+        How long a hung job sleeps [s].
+    nan_rate:
+        Probability a ``nan`` site corrupts a cell's RTN currents.
+    batch_rate:
+        Probability a ``batch`` site fails the batched trap kernel.
+    """
+
+    seed: int = 0
+    convergence_rate: float = 0.0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    nan_rate: float = 0.0
+    batch_rate: float = 0.0
+
+    def rate_for(self, site: str) -> float:
+        return {
+            "job": self.convergence_rate,
+            "worker": self.crash_rate,
+            "hang": self.hang_rate,
+            "nan": self.nan_rate,
+            "batch": self.batch_rate,
+        }.get(site, 0.0)
+
+    def decide(self, site: str, key: object, attempt: int = 0) -> bool:
+        rate = self.rate_for(site)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        token = f"{self.seed}:{site}:{key!r}:{attempt}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 64 < rate
+
+
+def active() -> FaultPlan | None:
+    """The armed plan, or ``None``."""
+    return _ACTIVE
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Arm ``plan`` in *this* process (executor -> worker hand-off)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def should(site: str, key: object, attempt: int = 0) -> bool:
+    """Pure query: would this site fault?  (No side effect.)"""
+    plan = _ACTIVE
+    return plan is not None and plan.decide(site, key, attempt)
+
+
+def fire(site: str, key: object, attempt: int = 0) -> None:
+    """Act on a fault site: raise, sleep or kill per the armed plan."""
+    plan = _ACTIVE
+    if plan is None or not plan.decide(site, key, attempt):
+        return
+    if site == "job":
+        raise ConvergenceError(
+            f"injected convergence failure (job {key!r}, attempt {attempt})",
+            iterations=7, residual=0.123,
+        )
+    if site == "worker":
+        # A real crash only if this process is expendable; otherwise an
+        # exception stands in for it so the host interpreter survives.
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(3)
+        raise WorkerCrashError(
+            f"injected worker crash (job {key!r}, attempt {attempt})")
+    if site == "hang":
+        time.sleep(plan.hang_seconds)
+
+
+@contextmanager
+def inject_faults(**kwargs):
+    """Arm a :class:`FaultPlan` for the duration of the ``with`` block."""
+    plan = FaultPlan(**kwargs)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(None)

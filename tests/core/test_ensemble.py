@@ -32,14 +32,27 @@ def result() -> EnsembleResult:
 
 class TestConfigValidation:
     def test_rejects_bad_values(self):
-        with pytest.raises(SimulationError):
+        # Config mistakes are programming errors (plain ValueError),
+        # not simulation failures.
+        with pytest.raises(ValueError):
             EnsembleConfig(n_cells=0)
-        with pytest.raises(SimulationError):
+        with pytest.raises(ValueError):
             EnsembleConfig(n_cells=1, rtn_scale=-1.0)
-        with pytest.raises(SimulationError):
+        with pytest.raises(ValueError):
             EnsembleConfig(n_cells=1, screen_threshold=-0.5)
-        with pytest.raises(SimulationError):
+        with pytest.raises(ValueError):
             EnsembleConfig(n_cells=1, margin_samples=-1)
+        with pytest.raises(ValueError):
+            EnsembleConfig(n_cells=1, checkpoint_every=0)
+        with pytest.raises(ValueError):
+            EnsembleConfig(n_cells=1, resume=True)
+
+    def test_value_error_not_simulation_error(self):
+        # The switch must not silently widen: bad config is NOT a
+        # SimulationError any more.
+        with pytest.raises(ValueError) as excinfo:
+            EnsembleConfig(n_cells=-3)
+        assert not isinstance(excinfo.value, SimulationError)
 
 
 class TestRun:

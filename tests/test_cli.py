@@ -65,6 +65,24 @@ class TestCommands:
         assert "VRT scan" in out
         assert "frozen-state levels" in out
 
+    def test_ensemble_checkpoint_and_resume(self, capsys, tmp_path):
+        directory = str(tmp_path / "run")
+        base = ["ensemble", "--cells", "4", "--seed", "1",
+                "--threshold", "0", "--margins", "0"]
+        assert main(base + ["--verify", "1",
+                            "--checkpoint-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "statuses: ok" in out
+        assert f"checkpoint: {directory}" in out
+
+        assert main(base + ["--verify", "4", "--resume", directory]) == 0
+        out = capsys.readouterr().out
+        assert f"checkpoint: {directory}" in out
+
+    def test_ensemble_rejects_bad_retry_arguments(self):
+        with pytest.raises(ValueError):
+            main(["ensemble", "--cells", "2", "--retry-attempts", "0"])
+
     def test_fig8_exit_code_signals_compromise(self, capsys):
         # Scale 0: clean, exit 0.
         assert main(["fig8", "--seed", "2", "--scale", "0"]) == 0

@@ -1,0 +1,78 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConvergenceError, WorkerCrashError
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, inject_faults
+
+
+class TestDecisions:
+    def test_deterministic(self):
+        plan = FaultPlan(seed=3, crash_rate=0.4)
+        draws = [plan.decide("worker", key, attempt)
+                 for key in range(50) for attempt in range(3)]
+        again = [plan.decide("worker", key, attempt)
+                 for key in range(50) for attempt in range(3)]
+        assert draws == again
+        assert any(draws) and not all(draws)
+
+    def test_rate_extremes(self):
+        never = FaultPlan(seed=0, convergence_rate=0.0)
+        always = FaultPlan(seed=0, convergence_rate=1.0)
+        assert not any(never.decide("job", k) for k in range(100))
+        assert all(always.decide("job", k) for k in range(100))
+
+    def test_rate_roughly_matches_frequency(self):
+        plan = FaultPlan(seed=1, hang_rate=0.2)
+        hits = sum(plan.decide("hang", k) for k in range(2000))
+        assert 0.15 < hits / 2000 < 0.25
+
+    def test_attempts_redraw_independently(self):
+        # A retry of the same job must get a fresh decision — otherwise
+        # a faulted cell could never be recovered by retrying.
+        plan = FaultPlan(seed=2, crash_rate=0.5)
+        first = [plan.decide("worker", k, 0) for k in range(200)]
+        second = [plan.decide("worker", k, 1) for k in range(200)]
+        assert first != second
+
+    def test_unknown_site_never_faults(self):
+        plan = FaultPlan(seed=0, crash_rate=1.0, convergence_rate=1.0)
+        assert not plan.decide("no-such-site", 0)
+
+
+class TestHarness:
+    def test_inert_by_default(self):
+        assert faults.active() is None
+        assert not faults.should("job", 0)
+        faults.fire("job", 0)  # no-op
+
+    def test_context_manager_arms_and_disarms(self):
+        with inject_faults(convergence_rate=1.0, seed=5) as plan:
+            assert faults.active() is plan
+            assert faults.should("job", 0)
+        assert faults.active() is None
+
+    def test_job_site_raises_convergence_error_with_metadata(self):
+        with inject_faults(convergence_rate=1.0):
+            with pytest.raises(ConvergenceError) as excinfo:
+                faults.fire("job", 12)
+        assert excinfo.value.iterations is not None
+        assert excinfo.value.residual is not None
+
+    def test_worker_site_in_process_raises_instead_of_exiting(self):
+        # In the host interpreter a "crash" must not take the test down.
+        with inject_faults(crash_rate=1.0):
+            with pytest.raises(WorkerCrashError):
+                faults.fire("worker", 4)
+
+    def test_install_handoff(self):
+        plan = FaultPlan(seed=9, convergence_rate=1.0)
+        faults.install(plan)
+        try:
+            assert faults.should("job", 1)
+        finally:
+            faults.install(None)
+        assert faults.active() is None
