@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import fit_one_over_f, welch_psd
+from repro.analysis import compute_welch_psd, fit_one_over_f
 from repro.core.report import format_table, write_csv
 from repro.devices import MosfetParams, TECH_22NM, TECH_180NM
 from repro.devices.ekv import saturation_current
@@ -104,7 +104,7 @@ def test_fig3_trace_vs_analytic_single_trap(benchmark, rng):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     dt = t_stop / (2 ** 17 - 1)
-    freq, psd = welch_psd(result.trace.current, dt, nperseg=8192)
+    freq, psd = compute_welch_psd(result.trace.current, dt, nperseg=8192)
     lam_c, lam_e = rates_from_bias(v_gs, trap, tech)
     amplitude = float(np.asarray(
         VanDerZielModel().amplitude(device, v_gs, i_d)))

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import autocovariance, fit_lorentzian, welch_psd
+from repro.analysis import (
+    compute_autocovariance,
+    compute_welch_psd,
+    fit_lorentzian,
+)
 from repro.core.report import format_table, write_csv
 from repro.devices import MosfetParams, TECH_90NM, transconductance
 from repro.devices.ekv import saturation_current
@@ -78,7 +82,7 @@ def validate_one(v_gs: float, trap: Trap, rng) -> dict:
 
     # Time domain: R(0) and the covariance decay rate.
     max_lag = max(16, min(int(3.0 / (total * dt)), N_SAMPLES // 8))
-    lags, cov = autocovariance(samples, dt, max_lag=max_lag)
+    lags, cov = compute_autocovariance(samples, dt, max_lag=max_lag)
     r0_est = float(np.mean(samples ** 2))
     r0_true = stationary_autocorrelation(0.0, lam_c, lam_e, amplitude)
     positive = cov > 0.05 * cov[0]
@@ -86,7 +90,7 @@ def validate_one(v_gs: float, trap: Trap, rng) -> dict:
     decay_est = -fit[0]
 
     # Frequency domain: Lorentzian plateau and corner.
-    freq, psd = welch_psd(samples, dt, nperseg=8192)
+    freq, psd = compute_welch_psd(samples, dt, nperseg=8192)
     corner_true = lorentzian_corner_frequency(lam_c, lam_e)
     band = (freq < 20 * corner_true)
     lorentz = fit_lorentzian(freq[band], psd[band])

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import welch_psd
+from repro.analysis import compute_welch_psd
 from repro.core.report import format_table, write_csv
 from repro.devices.technology import TECH_90NM
 from repro.markov.analytic import lorentzian_psd
@@ -53,7 +53,7 @@ def _low_frequency_power(trap: Trap, duty: float, switch_frequency: float,
     trace = simulate_trap(propensity, 0.0, t_stop, rng)
     current = trace.sample(times).astype(float) * on_phase
     dt = t_stop / (N_SAMPLES - 1)
-    freq, psd = welch_psd(current, dt, nperseg=8192)
+    freq, psd = compute_welch_psd(current, dt, nperseg=8192)
     corner = propensity_sum(trap, tech)
     return float(np.mean(psd[freq < corner / 20.0]))
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import summarise_dwells
+from repro.analysis import compute_dwell_summary
 from repro.core.report import format_table, sparkline
 from repro.devices import MosfetParams, TECH_90NM, drain_current
 from repro.markov import stationary_occupancy
@@ -68,7 +68,7 @@ print("occupancy over time:     " + sparkline(result.n_filled, width=60))
 print("\n== Dwell-time statistics of the high-bias half ==")
 occupancy = result.occupancies[0].restricted(times[half], times[-1])
 for state, name in ((0, "empty"), (1, "filled")):
-    summary = summarise_dwells(occupancy, state)
+    summary = compute_dwell_summary(occupancy, state)
     lam_c, lam_e = rates_from_bias(0.56, trap, tech)
     expected = 1.0 / (lam_c if state == 0 else lam_e)
     print(f"{name:>7}: {summary.count:4d} dwells, mean "

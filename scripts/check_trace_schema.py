@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate a Chrome ``trace_event`` JSON file written by ``--trace-out``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace_schema.py trace.json [...]
+
+Exits non-zero (and lists the problems) if any file fails the schema
+check in :func:`repro.obs.tracer.validate_chrome_trace` — the contract
+that keeps committed example traces loadable in Perfetto and
+chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.tracer import validate_chrome_trace
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_trace_schema.py TRACE.json [TRACE.json ...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for arg in argv:
+        path = Path(arg)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        problems = validate_chrome_trace(document)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            events = len(document.get("traceEvents", []))
+            print(f"{path}: ok ({events} events)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,29 +4,65 @@ Paper §IV-A estimates the autocorrelation ``R(tau)`` of generated RTN
 traces numerically and translates it to a power spectral density; this
 package provides those estimators plus the Lorentzian and 1/f fits used
 by the Fig. 3 and Fig. 7 reproductions.
+
+The blessed estimator names follow the ``compute_*`` convention
+(``compute_welch_psd``, ``compute_dwell_summary``, ...) and are
+re-exported from :mod:`repro.api`.  The historical bare names
+(``welch_psd``, ``summarise_dwells``, ...) keep working through
+module-level deprecation shims and will be removed in a future release.
 """
 
-from .autocorr import autocorrelation, autocovariance
-from .dwell import DwellSummary, exponentiality_pvalue, summarise_dwells
+import warnings
+
+from .autocorr import autocorrelation as compute_autocorrelation
+from .autocorr import autocovariance as compute_autocovariance
+from .dwell import DwellSummary
+from .dwell import exponentiality_pvalue as compute_dwell_exponentiality
+from .dwell import summarise_dwells as compute_dwell_summary
 from .fitting import (
     FitResult,
     fit_lorentzian,
     fit_one_over_f,
     log_rms_error,
 )
-from .psd import periodogram_psd, psd_from_autocovariance, welch_psd
+from .psd import periodogram_psd as compute_periodogram_psd
+from .psd import psd_from_autocovariance as compute_psd_from_autocovariance
+from .psd import welch_psd as compute_welch_psd
 
 __all__ = [
     "DwellSummary",
     "FitResult",
-    "autocorrelation",
-    "autocovariance",
-    "exponentiality_pvalue",
+    "compute_autocorrelation",
+    "compute_autocovariance",
+    "compute_dwell_exponentiality",
+    "compute_dwell_summary",
+    "compute_periodogram_psd",
+    "compute_psd_from_autocovariance",
+    "compute_welch_psd",
     "fit_lorentzian",
     "fit_one_over_f",
     "log_rms_error",
-    "periodogram_psd",
-    "psd_from_autocovariance",
-    "summarise_dwells",
-    "welch_psd",
 ]
+
+#: Historical name -> blessed ``compute_*`` name (deprecation shims).
+_RENAMED = {
+    "autocorrelation": "compute_autocorrelation",
+    "autocovariance": "compute_autocovariance",
+    "exponentiality_pvalue": "compute_dwell_exponentiality",
+    "summarise_dwells": "compute_dwell_summary",
+    "periodogram_psd": "compute_periodogram_psd",
+    "psd_from_autocovariance": "compute_psd_from_autocovariance",
+    "welch_psd": "compute_welch_psd",
+}
+
+
+def __getattr__(name: str):
+    replacement = _RENAMED.get(name)
+    if replacement is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.analysis.{name} is deprecated; use "
+        f"repro.analysis.{replacement} (also exported from repro.api)",
+        DeprecationWarning, stacklevel=2)
+    return globals()[replacement]

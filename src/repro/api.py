@@ -33,6 +33,16 @@ Array-scale Monte-Carlo
 Resilience (fault-tolerant execution)
     :class:`RetryPolicy`, :class:`JobResult`, :func:`run_jobs`,
     :class:`RunCheckpoint`, :func:`inject_faults`
+Observability (tracing / metrics / telemetry)
+    :class:`Tracer`, :class:`Metrics`, :func:`enable_tracing`,
+    :func:`profiled`, :class:`RunTelemetry`, :func:`load_telemetry`,
+    :func:`telemetry_report`, :func:`validate_chrome_trace`
+Analysis (estimators behind the validation figures)
+    :func:`compute_autocorrelation`, :func:`compute_autocovariance`,
+    :func:`compute_welch_psd`, :func:`compute_periodogram_psd`,
+    :func:`compute_psd_from_autocovariance`,
+    :func:`compute_dwell_summary`, :func:`compute_dwell_exponentiality`,
+    :func:`fit_lorentzian`, :func:`fit_one_over_f`
 """
 
 from __future__ import annotations
@@ -77,6 +87,28 @@ _EXPORTS = {
     "run_jobs": "repro.core.resilience:run_jobs",
     "RunCheckpoint": "repro.core.resilience:RunCheckpoint",
     "inject_faults": "repro.testing.faults:inject_faults",
+    # Observability.
+    "Tracer": "repro.obs.tracer:Tracer",
+    "Metrics": "repro.obs.metrics:Metrics",
+    "enable_tracing": "repro.obs:enable_tracing",
+    "profiled": "repro.obs.profile:profiled",
+    "RunTelemetry": "repro.obs.telemetry:RunTelemetry",
+    "load_telemetry": "repro.obs.telemetry:load_telemetry",
+    "telemetry_report": "repro.obs.telemetry:telemetry_report",
+    "validate_chrome_trace": "repro.obs.tracer:validate_chrome_trace",
+    # Analysis.
+    "compute_autocorrelation":
+        "repro.analysis:compute_autocorrelation",
+    "compute_autocovariance": "repro.analysis:compute_autocovariance",
+    "compute_welch_psd": "repro.analysis:compute_welch_psd",
+    "compute_periodogram_psd": "repro.analysis:compute_periodogram_psd",
+    "compute_psd_from_autocovariance":
+        "repro.analysis:compute_psd_from_autocovariance",
+    "compute_dwell_summary": "repro.analysis:compute_dwell_summary",
+    "compute_dwell_exponentiality":
+        "repro.analysis:compute_dwell_exponentiality",
+    "fit_lorentzian": "repro.analysis:fit_lorentzian",
+    "fit_one_over_f": "repro.analysis:fit_one_over_f",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -4,7 +4,9 @@ Small, scriptable entry points over the library's main flows:
 
 - ``cards`` — list the technology cards;
 - ``fig8`` — run the paper's Fig.-8 methodology and print verdicts;
-- ``ensemble`` — batched array-scale Monte-Carlo write-error prediction;
+- ``ensemble`` — batched array-scale Monte-Carlo write-error prediction
+  (``--trace-out``/``--metrics-out``/``--profile`` export observability);
+- ``report`` — render a telemetry or Chrome-trace JSON as tables;
 - ``snm`` — static noise margins of a cell;
 - ``traps`` — sample and summarise a device's trap population;
 - ``retention`` — DRAM VRT retention scan.
@@ -52,6 +54,7 @@ def _cmd_fig8(args) -> int:
 
 
 def _cmd_ensemble(args) -> int:
+    from . import obs
     from .core.ensemble import EnsembleConfig, EnsembleRunner
     from .core.experiments import fig8_pattern
     from .core.resilience import RetryPolicy
@@ -70,7 +73,16 @@ def _cmd_ensemble(args) -> int:
         margin_samples=args.margins, retry=retry,
         checkpoint_dir=checkpoint_dir, resume=bool(args.resume))
     rng = np.random.default_rng(args.seed)
-    result = EnsembleRunner(config).run(rng)
+    runner = EnsembleRunner(config)
+    observing = bool(args.trace_out or args.metrics_out or args.profile)
+    if observing:
+        with obs.enable_tracing(trace_path=args.trace_out):
+            result = runner.run(rng)
+    else:
+        result = runner.run(rng)
+    telemetry = result.telemetry
+    if args.metrics_out:
+        telemetry.save(args.metrics_out)
 
     top = sorted(result.outcomes, key=lambda o: -o.screen_metric)[:args.top]
     rows = [[o.index, o.trap_count, o.transitions,
@@ -91,13 +103,13 @@ def _cmd_ensemble(args) -> int:
         samples = result.snm_samples() * 1e3
         print(f"sampled hold SNM: mean {samples.mean():.1f} mV, "
               f"sigma {samples.std():.1f} mV ({samples.size} cells)")
-    failure = result.failure_summary()
-    counts = failure["counts"]
+    counts = telemetry.counts
     print("statuses: " + "  ".join(f"{status} {counts[status]}"
                                    for status in counts))
-    for name, message in failure["kernel_fallbacks"].items():
-        print(f"kernel fallback on {name}: {message}")
-    for entry in failure["errors"]:
+    for name, entry in telemetry.kernel.items():
+        if entry.get("fallback"):
+            print(f"kernel fallback on {name}: {entry['fallback']}")
+    for entry in telemetry.errors:
         detail = entry["details"]
         extra = (f" (iterations={detail['iterations']}, "
                  f"residual={detail['residual']})"
@@ -106,11 +118,50 @@ def _cmd_ensemble(args) -> int:
               f"{entry['error']}{extra}")
     if checkpoint_dir:
         print(f"checkpoint: {checkpoint_dir}")
+    if args.profile:
+        from .obs.telemetry import telemetry_report
+        print()
+        print(telemetry_report(telemetry))
+    if args.trace_out:
+        print(f"trace: {args.trace_out}")
+    if args.metrics_out:
+        print(f"telemetry: {args.metrics_out}")
     # Exit codes: 0 clean, 2 confirmed write errors, 3 incomplete run
     # (some cells failed/timed out but the partial result was returned).
     if result.failing_cells > 0:
         return 2
-    return 0 if failure["complete"] else 3
+    return 0 if telemetry.complete else 3
+
+
+def _cmd_report(args) -> int:
+    """Render a telemetry or Chrome-trace JSON as human-readable tables."""
+    import json
+    from pathlib import Path
+
+    from .obs.telemetry import telemetry_report
+    from .obs.tracer import validate_chrome_trace
+
+    document = json.loads(Path(args.path).read_text(encoding="utf-8"))
+    if isinstance(document, dict) and "traceEvents" in document:
+        problems = validate_chrome_trace(document)
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+        totals: dict = {}
+        for event in document["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            name = event.get("name", "?")
+            count, total = totals.get(name, (0, 0.0))
+            totals[name] = (count + 1, total + float(event.get("dur", 0.0)))
+        rows = [[name, count, f"{total / 1e3:.2f}",
+                 f"{total / count / 1e3:.3f}"]
+                for name, (count, total) in
+                sorted(totals.items(), key=lambda kv: -kv[1][1])]
+        print(format_table(["span", "count", "total [ms]", "mean [ms]"],
+                           rows, title=f"Trace summary ({args.path})"))
+        return 1 if problems else 0
+    print(telemetry_report(document))
+    return 0
 
 
 def _cmd_snm(args) -> int:
@@ -218,6 +269,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume from a checkpoint directory, "
                                "skipping finished cells "
                                "(implies --checkpoint-dir DIR)")
+    ensemble.add_argument("--trace-out", metavar="FILE", default=None,
+                          help="write a Chrome trace_event JSON "
+                               "(.jsonl for JSON-lines) of the run; "
+                               "load it in Perfetto / chrome://tracing")
+    ensemble.add_argument("--metrics-out", metavar="FILE", default=None,
+                          help="write the run telemetry (status counts, "
+                               "kernel stats, timings, metrics) as JSON "
+                               "for the `report` subcommand")
+    ensemble.add_argument("--profile", action="store_true",
+                          help="enable observability and print the "
+                               "telemetry report after the run")
+
+    report = sub.add_parser(
+        "report", help="render a telemetry or trace JSON as tables")
+    report.add_argument("path", help="a --metrics-out telemetry JSON or a "
+                                     "--trace-out Chrome trace JSON")
 
     snm = sub.add_parser("snm", help="static noise margins of a cell")
     snm.add_argument("--tech", default="90nm")
@@ -238,6 +305,7 @@ _HANDLERS = {
     "cards": _cmd_cards,
     "ensemble": _cmd_ensemble,
     "fig8": _cmd_fig8,
+    "report": _cmd_report,
     "snm": _cmd_snm,
     "traps": _cmd_traps,
     "retention": _cmd_retention,

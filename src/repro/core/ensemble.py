@@ -42,7 +42,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..errors import ModelError, RecoveredWarning, SimulationError
+from ..obs import clock
+from ..obs.telemetry import RunTelemetry
 from ..markov.batch import _scalar_fallback, simulate_traps_batch
 from ..markov.occupancy import number_filled
 from ..rtn.current import RtnAmplitudeModel, VanDerZielModel, rtn_current_samples
@@ -240,6 +243,11 @@ class EnsembleResult:
     kernel_fallbacks:
         Transistor name -> error message, for populations whose batched
         sweep failed and was degraded to the exact scalar kernel.
+    timings:
+        Pipeline phase -> wall-clock seconds (always recorded).
+    metrics_snapshot:
+        :meth:`repro.obs.metrics.Metrics.snapshot` taken at the end of
+        the run ({} when observability was disabled).
     """
 
     outcomes: list = field(default_factory=list)
@@ -248,6 +256,8 @@ class EnsembleResult:
     clean_failures: int = 0
     kernel_stats: dict = field(default_factory=dict)
     kernel_fallbacks: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
+    metrics_snapshot: dict = field(default_factory=dict)
 
     @property
     def n_cells(self) -> int:
@@ -288,28 +298,90 @@ class EnsembleResult:
         """Every cell reached a usable outcome (no failed/timeout)."""
         return all(o.status in ("ok", "recovered") for o in self.outcomes)
 
-    def failure_summary(self) -> dict:
-        """Resilience accounting: status counts plus terminal errors."""
+    @property
+    def telemetry(self) -> RunTelemetry:
+        """The structured diagnostics surface of this run.
+
+        One JSON-serialisable :class:`~repro.obs.telemetry.RunTelemetry`
+        replaces the ad-hoc dictionaries the result used to hand out:
+        resilience status counts, per-cell diagnostic records, batched
+        kernel accounting (with fallbacks folded in), terminal errors,
+        pipeline phase timings, and the metrics snapshot of the run
+        (when observability was enabled).
+        """
         counts = {status: 0 for status in JOB_STATUSES}
-        errors = []
+        errors: list = []
+        cells: list = []
         for outcome in self.outcomes:
             counts[outcome.status] = counts.get(outcome.status, 0) + 1
+            cells.append({
+                "index": outcome.index,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+                "error_details": dict(outcome.error_details),
+                "flagged": bool(outcome.flagged),
+                "verified": bool(outcome.verified),
+                "rtn_failures": int(outcome.rtn_failures),
+                "screen_metric": float(outcome.screen_metric),
+                "trap_count": int(outcome.trap_count),
+                "transitions": int(outcome.transitions),
+            })
             if outcome.status not in ("ok", "recovered"):
                 errors.append({"cell": outcome.index,
                                "status": outcome.status,
                                "error": outcome.error,
                                "details": dict(outcome.error_details)})
-        return {
-            "counts": counts,
-            "complete": self.complete,
-            "kernel_fallbacks": dict(self.kernel_fallbacks),
-            "errors": errors,
-        }
+        kernel: dict = {}
+        for name, stats in self.kernel_stats.items():
+            kernel[name] = {
+                "candidates": int(stats.n_candidates),
+                "accepted": int(stats.n_accepted),
+                "acceptance_ratio": float(stats.acceptance_ratio),
+                "rate_bound": float(stats.rate_bound),
+                "fallback": self.kernel_fallbacks.get(name),
+            }
+        for name, message in self.kernel_fallbacks.items():
+            kernel.setdefault(name, {
+                "candidates": 0, "accepted": 0, "acceptance_ratio": 0.0,
+                "rate_bound": 0.0, "fallback": message,
+            })
+        return RunTelemetry(
+            n_cells=self.n_cells,
+            n_slots=self.n_slots,
+            counts=counts,
+            complete=self.complete,
+            flagged=self.flagged_cells,
+            verified=self.verified_cells,
+            failing=self.failing_cells,
+            traps=self.total_traps,
+            kernel=kernel,
+            errors=errors,
+            cells=cells,
+            timings=dict(self.timings),
+            metrics=dict(self.metrics_snapshot),
+        )
+
+    def failure_summary(self) -> dict:
+        """Deprecated: the pre-telemetry diagnostics dictionary.
+
+        .. deprecated::
+            Use :attr:`telemetry` — the same counts live in
+            ``result.telemetry.counts`` / ``.complete`` / ``.errors``
+            and the kernel fallbacks in ``.kernel``.  This shim keeps
+            the old dictionary shape working and will be removed in a
+            future release.
+        """
+        warnings.warn(
+            "EnsembleResult.failure_summary() is deprecated; read "
+            "EnsembleResult.telemetry (a RunTelemetry) instead",
+            DeprecationWarning, stacklevel=2)
+        return self.telemetry.failure_summary_dict()
 
     def summary(self) -> dict:
         """Compact dictionary for reports and the CLI."""
         metrics = self.screen_metrics()
-        failure = self.failure_summary()
+        telemetry = self.telemetry
         return {
             "cells": self.n_cells,
             "traps": self.total_traps,
@@ -319,8 +391,8 @@ class EnsembleResult:
             "cell_failure_rate": self.cell_failure_rate,
             "peak_screen_metric": float(metrics.max(initial=0.0)),
             "nominal_snm_hold": self.nominal_snm_hold,
-            "statuses": failure["counts"],
-            "complete": failure["complete"],
+            "statuses": telemetry.counts,
+            "complete": telemetry.complete,
         }
 
 
@@ -434,6 +506,22 @@ class EnsembleRunner:
             or VanDerZielModel()
         method = config.methodology
 
+        # Phase timings are recorded unconditionally (cheap: one clock
+        # read per pipeline stage) so `result.telemetry.timings` is
+        # always populated; the matching trace spans only materialise
+        # when observability is enabled.
+        timings: dict = {}
+        run_started = clock.monotonic()
+
+        def _phase_done(name: str, started: float) -> float:
+            now = clock.monotonic()
+            timings[name] = now - started
+            if obs.enabled():
+                obs.complete_span(f"ensemble.{name}", started, now - started)
+            return now
+
+        phase_started = run_started
+
         # Step 1: one clean SPICE pass on the nominal cell.
         cell = build_sram_cell(spec)
         waves = build_pattern_waveforms(pattern, cell.vdd)
@@ -449,6 +537,7 @@ class EnsembleRunner:
         clean_failures = sum(1 for r in clean_results
                              if r.outcome is not OpOutcome.OK)
         biases = extract_biases(cell, clean)
+        phase_started = _phase_done("clean_pass", phase_started)
 
         # Step 2: per-cell mismatch + trap populations.
         names = list(cell.transistors)
@@ -461,6 +550,7 @@ class EnsembleRunner:
                 populations[name].append(
                     profiler.sample(rng, params.width, params.length,
                                     label_prefix=f"{name.lower()}_t"))
+        phase_started = _phase_done("sampling", phase_started)
 
         # Step 3: one batched kernel call per transistor name, spanning
         # every cell's population; split and synthesise Eq.-3 currents.
@@ -522,6 +612,7 @@ class EnsembleRunner:
                 if metric > metrics[cell_index]:
                     metrics[cell_index] = metric
                 traces[cell_index][name] = trace
+        phase_started = _phase_done("kernels", phase_started)
 
         # Step 4: verify the flagged cells through the injected pass,
         # fault-isolated: one diverging or crashing verification costs
@@ -572,6 +663,7 @@ class EnsembleRunner:
                  policy=config.retry or RetryPolicy(), on_result=on_result)
         if checkpoint is not None:
             checkpoint.save(config.fingerprint())
+        phase_started = _phase_done("verification", phase_started)
 
         # Step 5: margins.
         nominal_snm = static_noise_margin(spec, mode="hold")
@@ -607,4 +699,9 @@ class EnsembleRunner:
                 snm_hold=snm, status=status,
                 attempts=int(record.get("attempts", 0)),
                 error=error, error_details=details))
+        _phase_done("margins", phase_started)
+        timings["total"] = clock.monotonic() - run_started
+        result.timings.update(timings)
+        if obs.enabled():
+            result.metrics_snapshot = obs.metrics().snapshot()
         return result

@@ -33,6 +33,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..errors import (
     ConvergenceError,
     SimulationError,
@@ -175,15 +176,24 @@ def _execute_job(fn: Callable, payload, key, attempt: int, plan):
 def _finish(result: JobResult, error: BaseException | None,
             attempt: int, started: float, timed_out: bool = False) -> None:
     result.attempts = attempt
-    result.elapsed = time.monotonic() - started
+    result.elapsed = obs.clock.monotonic() - started
     if error is None:
         result.status = "ok" if attempt == 1 else "recovered"
-        return
-    result.status = "timeout" if timed_out else "failed"
-    result.value = None
-    result.error = str(error)
-    result.error_type = type(error).__name__
-    result.error_details = _error_details(error)
+    else:
+        result.status = "timeout" if timed_out else "failed"
+        result.value = None
+        result.error = str(error)
+        result.error_type = type(error).__name__
+        result.error_details = _error_details(error)
+    if obs.enabled():
+        obs.inc("jobs.completed")
+        obs.inc(f"jobs.{result.status}")
+        obs.observe("jobs.elapsed_s", result.elapsed)
+        if result.attempts > 1:
+            obs.inc("jobs.retries", result.attempts - 1)
+        obs.complete_span("resilience.job", started, result.elapsed,
+                          key=result.key, status=result.status,
+                          attempts=result.attempts)
 
 
 def run_jobs(fn: Callable, jobs, *, keys=None, workers: int | None = None,
@@ -270,7 +280,7 @@ def _run_serial(fn, jobs, keys, policy, on_result) -> list:
     results = []
     for payload, key in zip(jobs, keys):
         result = JobResult(key=key)
-        started = time.monotonic()
+        started = obs.clock.monotonic()
         for attempt in range(1, policy.attempts + 1):
             delay = policy.delay(attempt)
             if delay:
@@ -318,6 +328,7 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
     pool = ProcessPoolExecutor(max_workers=workers)
     in_flight: dict = {}   # future -> (index, attempt)
     running_since: dict = {}  # future -> monotonic time first seen running
+    submitted_at: dict = {}   # future -> monotonic time of submission
     # (index, attempt) pairs already requeued for free after a pool
     # break they provably did not cause (their future never ran).  One
     # grant per attempt bounds the free rides: a crasher that slips
@@ -336,6 +347,7 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
         if not ran and (index, attempt) not in requeue_grants:
             requeue_grants.add((index, attempt))
             queue.append((index, attempt, 0.0))
+            obs.inc("jobs.requeues")
             return
         settle(index, attempt, error)
 
@@ -344,7 +356,7 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
                value=None) -> None:
         """Record one attempt's outcome; requeue or finalise."""
         result = results[index]
-        now = time.monotonic()
+        now = obs.clock.monotonic()
         if first_started[index] is None:
             first_started[index] = now
         if error is not None and attempt < policy.attempts \
@@ -361,11 +373,12 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
 
     def respawn() -> ProcessPoolExecutor:
         _terminate_pool(pool)
+        obs.inc("jobs.pool_respawns")
         return ProcessPoolExecutor(max_workers=workers)
 
     try:
         while queue or in_flight:
-            now = time.monotonic()
+            now = obs.clock.monotonic()
             # Submit whatever is ready (respect backoff timestamps).
             for _ in range(len(queue)):
                 if len(in_flight) >= 2 * workers:
@@ -390,9 +403,11 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
                                              attempts=a))
                     in_flight.clear()
                     running_since.clear()
+                    submitted_at.clear()
                     pool = respawn()
                     break
                 in_flight[future] = (index, attempt)
+                submitted_at[future] = now
             if not in_flight:
                 time.sleep(_TICK)
                 continue
@@ -402,6 +417,7 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
             broken = False
             for future in done:
                 index, attempt = in_flight.pop(future)
+                submitted_at.pop(future, None)
                 ran = running_since.pop(future, None) is not None
                 error = future.exception()
                 if error is None:
@@ -418,11 +434,14 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
 
             # Timeout supervision: a hung worker can only be cleared by
             # killing the pool, so one expired job costs a respawn.
-            now = time.monotonic()
+            now = obs.clock.monotonic()
             expired: list = []
             for future, (index, attempt) in list(in_flight.items()):
                 if future.running() and future not in running_since:
                     running_since[future] = now
+                    if obs.enabled():
+                        obs.observe("jobs.queue_wait_s",
+                                    now - submitted_at.get(future, now))
                 since = running_since.get(future)
                 if policy.timeout is not None and since is not None \
                         and now - since > policy.timeout:
@@ -432,6 +451,8 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
                 for future, index, attempt in expired:
                     in_flight.pop(future, None)
                     running_since.pop(future, None)
+                    submitted_at.pop(future, None)
+                    obs.inc("jobs.worker_timeouts")
                     settle(index, attempt, WorkerTimeoutError(
                         f"job {keys[index]!r} exceeded its "
                         f"{policy.timeout:g}s budget",
@@ -450,6 +471,7 @@ def _run_pool(fn, jobs, keys, workers, policy, on_result) -> list:
                                          attempts=attempt))
                 in_flight.clear()
                 running_since.clear()
+                submitted_at.clear()
                 pool = respawn()
     finally:
         _terminate_pool(pool)
@@ -501,6 +523,16 @@ class RunCheckpoint:
     # -- persistence -----------------------------------------------------
     def save(self, fingerprint: dict | None = None) -> None:
         """Snapshot the current records atomically."""
+        started = obs.clock.monotonic()
+        self._save(fingerprint)
+        if obs.enabled():
+            elapsed = obs.clock.monotonic() - started
+            obs.inc("checkpoint.saves")
+            obs.observe("checkpoint.save_s", elapsed)
+            obs.complete_span("resilience.checkpoint_save", started, elapsed,
+                              records=len(self._records))
+
+    def _save(self, fingerprint: dict | None = None) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         if fingerprint is not None:
             self._fingerprint = dict(fingerprint)

@@ -47,7 +47,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import ModelError, SimulationError
+from ..obs import clock
 from .occupancy import OccupancyTrace
 from .propensity import (
     ConstantTwoStatePropensity,
@@ -391,6 +393,7 @@ def simulate_traps_batch(
             f"the bounds or shard the population"
         )
 
+    kernel_started = clock.monotonic() if obs.enabled() else 0.0
     counts = rng.poisson(lam=bounds * window).astype(np.int64)
     total = int(counts.sum())
     padded = n_traps * (int(counts.max(initial=0)) + 1)
@@ -414,6 +417,17 @@ def simulate_traps_batch(
                             dtype=np.int64),
         rate_bounds=bounds,
     )
+    if obs.enabled():
+        elapsed = clock.monotonic() - kernel_started
+        obs.inc("kernel.batch.calls")
+        obs.inc("kernel.batch.traps", n_traps)
+        obs.inc("kernel.batch.candidates", stats.total_candidates)
+        obs.inc("kernel.batch.accepted", stats.total_accepted)
+        obs.observe("kernel.batch.seconds", elapsed)
+        obs.complete_span("markov.batch", kernel_started, elapsed,
+                          traps=n_traps, candidates=stats.total_candidates,
+                          accepted=stats.total_accepted,
+                          acceptance_ratio=stats.acceptance_ratio)
     return traces, stats
 
 

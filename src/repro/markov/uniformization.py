@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import SimulationError
 from .occupancy import OccupancyTrace, _TraceBuilder
 from .propensity import TwoStatePropensity
@@ -151,6 +152,10 @@ def simulate_trap_detailed(
     stats = UniformizationStats(
         n_candidates=n_candidates, n_accepted=n_accepted, rate_bound=lam_star,
     )
+    if obs.enabled():
+        obs.inc("uniformization.runs")
+        obs.inc("uniformization.candidates", n_candidates)
+        obs.inc("uniformization.accepted", n_accepted)
     return trace, stats
 
 

@@ -1,0 +1,81 @@
+"""Fakeable time sources for every timestamp the library takes.
+
+All observability timestamps — span boundaries, queue waits, retry
+backoff deadlines, checkpoint latencies — go through this module
+instead of calling :mod:`time` directly, so tests can substitute a
+deterministic clock and assert on durations without sleeping.  A ruff
+``TID251`` ban (see ``pyproject.toml``) keeps bare ``time.time()`` out
+of ``src/repro``; this module is the one sanctioned exception.
+
+Two sources are exposed:
+
+- :func:`monotonic` — never goes backwards; the right source for
+  durations (mirrors :func:`time.monotonic`);
+- :func:`wall` — seconds since the epoch; the right source for
+  human-readable timestamps in exported files.
+
+Use :func:`fake` to install a :class:`FakeClock` for a ``with`` block::
+
+    from repro.obs import clock
+
+    with clock.fake() as fk:
+        t0 = clock.monotonic()
+        fk.advance(2.5)
+        assert clock.monotonic() - t0 == 2.5
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+_REAL_MONOTONIC = time.monotonic
+_REAL_WALL = time.time  # noqa: TID251 - the sanctioned wrapper
+
+_monotonic = _REAL_MONOTONIC
+_wall = _REAL_WALL
+
+
+def monotonic() -> float:
+    """Monotonic seconds — the source for every duration measurement."""
+    return _monotonic()
+
+
+def wall() -> float:
+    """Wall-clock seconds since the epoch — for exported timestamps."""
+    return _wall()
+
+
+class FakeClock:
+    """A manually-advanced clock driving both time sources.
+
+    The fake serves :func:`monotonic` and :func:`wall` from one
+    counter: durations and timestamps stay mutually consistent, and a
+    test advances time explicitly instead of sleeping.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (negative steps are rejected)."""
+        if seconds < 0.0:
+            raise ValueError("a clock cannot run backwards")
+        self.now += float(seconds)
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@contextmanager
+def fake(start: float = 0.0):
+    """Install a :class:`FakeClock` for the duration of the block."""
+    global _monotonic, _wall
+    previous = (_monotonic, _wall)
+    clock = FakeClock(start)
+    _monotonic = clock
+    _wall = clock
+    try:
+        yield clock
+    finally:
+        _monotonic, _wall = previous

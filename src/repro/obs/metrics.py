@@ -1,0 +1,184 @@
+"""Counters, gauges and histograms with a thread-safe registry.
+
+The registry is deliberately tiny — no labels, no exposition formats,
+no third-party dependency — because its job is to answer the questions
+the SAMURAI pipeline actually raises: how many Newton iterations did
+the run burn, what fraction of uniformisation candidates were accepted,
+how long did the batched kernel sweeps take.  Everything reduces to a
+JSON-able :meth:`Metrics.snapshot`, and snapshots from sharded ensemble
+workers merge with :meth:`Metrics.merge` (counters and histograms add;
+gauges keep the last write).
+
+Histograms store the streaming moments (count / total / min / max) plus
+fixed log-spaced duration buckets, which is enough for the telemetry
+report's percentile-free latency summaries and merges exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+#: Histogram bucket upper bounds [s or unit-less], log-spaced; the last
+#: bucket is open-ended.  Chosen to resolve everything from a single
+#: Newton solve (~us) to a full ensemble verification pass (~minutes).
+BUCKET_BOUNDS = tuple(10.0 ** e for e in range(-6, 4))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary: moments + log-spaced buckets."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    buckets: list = field(
+        default_factory=lambda: [0] * (len(BUCKET_BOUNDS) + 1))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        for index, bound in enumerate(BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """A named-metric registry, safe to drive from several threads.
+
+    Metrics are created on first use (``metrics.counter("x").inc()``),
+    so instrumentation sites never need registration boilerplate.  One
+    lock guards both registry mutation and the individual updates —
+    every operation is a handful of arithmetic ops, so contention is
+    irrelevant next to the solves being measured.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- creation / lookup ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    # -- one-line update helpers ---------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._counters.setdefault(name, Counter()).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges.setdefault(name, Gauge()).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._histograms.setdefault(name, Histogram()).observe(value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-able copy of every metric (the process-merge unit)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": None if h.count == 0 else h.minimum,
+                        "max": None if h.count == 0 else h.maximum,
+                        "mean": h.mean,
+                        "buckets": list(h.buckets),
+                    }
+                    for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another process's :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, matching their single-process
+        semantics).  Unknown keys in the snapshot are ignored so newer
+        workers can report to older aggregators.
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters.setdefault(name, Counter()).inc(float(value))
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges.setdefault(name, Gauge()).set(float(value))
+            for name, data in snapshot.get("histograms", {}).items():
+                hist = self._histograms.setdefault(name, Histogram())
+                count = int(data.get("count", 0))
+                if count == 0:
+                    continue
+                hist.count += count
+                hist.total += float(data.get("total", 0.0))
+                if data.get("min") is not None:
+                    hist.minimum = min(hist.minimum, float(data["min"]))
+                if data.get("max") is not None:
+                    hist.maximum = max(hist.maximum, float(data["max"]))
+                incoming = list(data.get("buckets", []))
+                if len(incoming) == len(hist.buckets):
+                    hist.buckets = [a + int(b) for a, b in
+                                    zip(hist.buckets, incoming)]
+
+    @classmethod
+    def merged(cls, snapshots) -> "Metrics":
+        """Build one registry from many worker snapshots."""
+        merged = cls()
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        return merged

@@ -1,0 +1,297 @@
+"""Span-based tracing with Chrome ``trace_event`` and JSONL export.
+
+A :class:`Tracer` records *spans* — named intervals with arbitrary
+JSON-able attributes — plus instant events.  Spans nest naturally
+through a per-thread stack, so a trace of an ensemble run shows the
+verification pass inside the run, the transient solves inside the
+verification, and so on, exactly as ``chrome://tracing`` / Perfetto
+render it.
+
+Export formats:
+
+- :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``, complete ``"X"`` events with
+  microsecond timestamps), loadable in ``chrome://tracing`` and
+  https://ui.perfetto.dev;
+- :meth:`Tracer.write_jsonl` — one JSON object per line, for log
+  shippers and ad-hoc ``jq`` analysis.
+
+:meth:`Tracer.write` picks the format from the file suffix
+(``.jsonl`` → JSONL, anything else → Chrome JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+from . import clock
+
+__all__ = ["Span", "SpanRecord", "Tracer", "validate_chrome_trace"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span (or instant event, when ``duration`` is None)."""
+
+    name: str
+    start: float           # seconds, relative to the tracer epoch
+    duration: float | None
+    depth: int = 0
+    pid: int = 0
+    tid: int = 0
+    args: dict = field(default_factory=dict)
+
+
+class Span:
+    """A live span; use as a context manager or close explicitly.
+
+    Attributes set through :meth:`set` become the Chrome event's
+    ``args`` — the payload Perfetto shows in the selection panel.
+    """
+
+    __slots__ = ("_tracer", "name", "start", "args", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.start = clock.monotonic()
+        self.args = args
+        self._done = False
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (merged into its ``args``)."""
+        self.args.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._done:
+            self._done = True
+            self._tracer._pop(self)
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _NullSpan:
+    """The disabled-mode span: every operation is a no-op.
+
+    A single shared instance is handed out when tracing is off, so the
+    instrumented code can stay branch-free::
+
+        with obs.span("solve") as sp:
+            ...
+            sp.set(iterations=n)
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span records; thread-safe; exports Chrome/JSONL.
+
+    The tracer's epoch is the moment of construction; all span
+    timestamps are seconds since that epoch (exported as integer
+    microseconds, the ``trace_event`` convention).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.epoch = clock.monotonic()
+        self.epoch_wall = clock.wall()
+        self.records: list[SpanRecord] = []
+
+    # -- recording ------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **args) -> Span:
+        """Open a span; close it (context manager or ``close()``) to record."""
+        return Span(self, name, args)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        depth = max(len(stack) - 1, 0)
+        if span in stack:
+            # Tolerate out-of-order closes: drop through to the span.
+            while stack and stack[-1] is not span:
+                stack.pop()
+            depth = max(len(stack) - 1, 0)
+            stack.pop()
+        self._append(SpanRecord(
+            name=span.name, start=span.start - self.epoch,
+            duration=clock.monotonic() - span.start, depth=depth,
+            pid=os.getpid(), tid=threading.get_ident(), args=span.args))
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker event."""
+        self._append(SpanRecord(
+            name=name, start=clock.monotonic() - self.epoch, duration=None,
+            depth=len(self._stack()), pid=os.getpid(),
+            tid=threading.get_ident(), args=args))
+
+    def complete(self, name: str, start: float, duration: float,
+                 **args) -> None:
+        """Record a span from externally measured times.
+
+        ``start`` is in the :func:`repro.obs.clock.monotonic` timebase
+        (the tracer subtracts its epoch).  This is how supervisor-side
+        code records per-job spans it timed itself — e.g. the ensemble
+        executor's per-cell verification intervals.
+        """
+        self._append(SpanRecord(
+            name=name, start=start - self.epoch, duration=float(duration),
+            depth=0, pid=os.getpid(), tid=threading.get_ident(), args=args))
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    # -- export ---------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` JSON object format."""
+        events = []
+        for r in sorted(self.records, key=lambda r: r.start):
+            event = {
+                "name": r.name,
+                "cat": r.name.split(".")[0],
+                "ph": "X" if r.duration is not None else "i",
+                "ts": round(r.start * 1e6, 3),
+                "pid": r.pid,
+                "tid": r.tid,
+                "args": _jsonable(r.args),
+            }
+            if r.duration is not None:
+                event["dur"] = round(r.duration * 1e6, 3)
+            else:
+                event["s"] = "t"  # instant scope: thread
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"epoch_wall_s": self.epoch_wall,
+                          "producer": "repro.obs"},
+        }
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for r in sorted(self.records, key=lambda r: r.start):
+                handle.write(json.dumps({
+                    "name": r.name, "start_s": r.start,
+                    "duration_s": r.duration, "depth": r.depth,
+                    "pid": r.pid, "tid": r.tid,
+                    "args": _jsonable(r.args),
+                }) + "\n")
+
+    def write(self, path) -> None:
+        """Export by suffix: ``.jsonl`` → JSONL, otherwise Chrome JSON."""
+        if str(path).endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome(path)
+
+    # -- summaries ------------------------------------------------------
+    def by_name(self) -> dict:
+        """Aggregate spans: name -> ``{count, total_s, max_s}``."""
+        summary: dict = {}
+        with self._lock:
+            records = list(self.records)
+        for r in records:
+            if r.duration is None:
+                continue
+            entry = summary.setdefault(
+                r.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += r.duration
+            entry["max_s"] = max(entry["max_s"], r.duration)
+        return summary
+
+
+def _jsonable(args: dict) -> dict:
+    """Coerce span attributes to JSON-safe values (numpy scalars etc.)."""
+    clean = {}
+    for key, value in args.items():
+        if isinstance(value, (str, bool, int, float)) or value is None:
+            clean[key] = value
+        elif hasattr(value, "item"):
+            clean[key] = value.item()
+        else:
+            clean[key] = str(value)
+    return clean
+
+
+def validate_chrome_trace(document) -> list:
+    """Validate a Chrome ``trace_event`` JSON document.
+
+    Returns a list of problem strings (empty = valid).  Shared by the
+    CI schema-check script (``scripts/check_trace_schema.py``) and the
+    round-trip tests, so both enforce exactly the same contract:
+    object format, ``traceEvents`` list, and per-event ``name`` /
+    ``ph`` / numeric non-negative ``ts`` (plus ``dur`` for complete
+    events).
+    """
+    problems: list = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing 'name'")
+        phase = event.get("ph")
+        if phase not in ("X", "B", "E", "i", "I", "C", "M"):
+            problems.append(f"{where}: bad phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad 'ts' {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event without 'dur'")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems

@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConvergenceError, RecoveredWarning
 
 
@@ -95,6 +96,48 @@ class NewtonRecovery:
     warn: bool = True
 
 
+@dataclass(frozen=True)
+class NewtonInfo:
+    """What one :func:`solve_newton_detailed` call actually did.
+
+    The failure path has always carried ``iterations``/``residual`` on
+    its :class:`~repro.errors.ConvergenceError`; this record is the
+    success-path counterpart, so telemetry and tests can assert on
+    both.
+
+    Attributes
+    ----------
+    iterations:
+        Newton iterations consumed by the run that produced the
+        solution (the winning recovery rung's run, when one fired).
+    residual:
+        Final unknown-vector change of that run (``None`` only for the
+        hold-last-point fallback, which performs no iteration).
+    stage:
+        ``plain``, ``damping``, ``source stepping`` or ``fallback``.
+    recovered:
+        A recovery rung (not the plain solve) produced the result.
+    """
+
+    iterations: int
+    residual: float | None
+    stage: str = "plain"
+    recovered: bool = False
+
+
+def _record_solve(info: NewtonInfo) -> None:
+    """Feed the solve's accounting to the metrics registry (if on)."""
+    if not obs.enabled():
+        return
+    obs.inc("newton.solves")
+    obs.observe("newton.iterations", info.iterations)
+    if info.residual is not None:
+        obs.observe("newton.residual", info.residual)
+    if info.recovered:
+        obs.inc("newton.recoveries")
+        obs.inc(f"newton.recoveries.{info.stage.replace(' ', '_')}")
+
+
 def _warn_recovered(recover: NewtonRecovery, stage: str,
                     error: ConvergenceError) -> None:
     if recover.warn:
@@ -132,20 +175,41 @@ def solve_newton(assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
         always carries the last known unknown-vector change as
         ``residual`` (``None`` only if no iterate was ever produced).
     """
+    return solve_newton_detailed(assemble, x0, options=options,
+                                 recover=recover)[0]
+
+
+def solve_newton_detailed(
+        assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+        x0: np.ndarray,
+        options: NewtonOptions | None = None,
+        recover: NewtonRecovery | None = None,
+) -> tuple[np.ndarray, NewtonInfo]:
+    """Like :func:`solve_newton`, but also return a :class:`NewtonInfo`.
+
+    The info record carries ``iterations`` and ``residual`` on the
+    clean-success path exactly as :class:`~repro.errors.ConvergenceError`
+    carries them on failure — both outcomes are equally observable.
+    """
     opts = options or NewtonOptions()
     try:
-        return _newton_once(assemble, x0, opts)
+        x, iterations, residual = _newton_once(assemble, x0, opts)
     except ConvergenceError as error:
         if recover is None:
+            _record_failure(error)
             raise
         first_error = error
+    else:
+        info = NewtonInfo(iterations=iterations, residual=residual)
+        _record_solve(info)
+        return x, info
 
     # Rung 1: tighter damping with a bigger iteration budget.
     boosted = max(opts.max_iterations,
                   opts.max_iterations * max(1, recover.iteration_boost))
     for max_step in recover.damping_ladder:
         try:
-            x = _newton_once(
+            x, iterations, residual = _newton_once(
                 assemble, x0,
                 dataclasses.replace(opts, max_step=float(max_step),
                                     max_iterations=boosted))
@@ -153,35 +217,54 @@ def solve_newton(assemble: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
             continue
         _warn_recovered(recover, f"damping (max_step={max_step:g})",
                         first_error)
-        return x
+        info = NewtonInfo(iterations=iterations, residual=residual,
+                          stage="damping", recovered=True)
+        _record_solve(info)
+        return x, info
 
     # Rung 2: source-stepping homotopy from a softened bias.
     if recover.source_stepping is not None and recover.source_steps > 0:
         x = np.array(x0, dtype=float, copy=True)
+        iterations, residual = 0, None
         ramp_opts = dataclasses.replace(opts, max_iterations=boosted)
         for scale in np.linspace(1.0 / recover.source_steps, 1.0,
                                  recover.source_steps):
             try:
-                x = _newton_once(recover.source_stepping(float(scale)), x,
-                                 ramp_opts)
+                x, iterations, residual = _newton_once(
+                    recover.source_stepping(float(scale)), x, ramp_opts)
             except ConvergenceError:
                 break
         else:
             _warn_recovered(recover, "source stepping", first_error)
-            return x
+            info = NewtonInfo(iterations=iterations, residual=residual,
+                              stage="source stepping", recovered=True)
+            _record_solve(info)
+            return x, info
 
     # Rung 3: hold the last converged operating point.
     if recover.fallback is not None:
         _warn_recovered(recover, "fallback to last converged point",
                         first_error)
-        return np.array(recover.fallback, dtype=float, copy=True)
+        info = NewtonInfo(iterations=first_error.iterations or 0,
+                          residual=first_error.residual,
+                          stage="fallback", recovered=True)
+        _record_solve(info)
+        return np.array(recover.fallback, dtype=float, copy=True), info
 
+    _record_failure(first_error)
     raise first_error
 
 
+def _record_failure(error: ConvergenceError) -> None:
+    if obs.enabled():
+        obs.inc("newton.failures")
+        if error.residual is not None:
+            obs.observe("newton.residual", error.residual)
+
+
 def _newton_once(assemble: Callable, x0: np.ndarray,
-                 opts: NewtonOptions) -> np.ndarray:
-    """One plain damped-Newton run (no recovery)."""
+                 opts: NewtonOptions) -> tuple[np.ndarray, int, float]:
+    """One plain damped-Newton run; returns ``(x, iterations, residual)``."""
     x = np.array(x0, dtype=float, copy=True)
     last_change: float | None = None
     for iteration in range(opts.max_iterations):
@@ -216,7 +299,7 @@ def _newton_once(assemble: Callable, x0: np.ndarray,
         last_change = float(np.abs(delta).max(initial=0.0))
         tolerance = opts.abstol + opts.reltol * np.abs(x).max(initial=0.0)
         if last_change <= tolerance:
-            return x
+            return x, iteration + 1, last_change
     raise ConvergenceError(
         f"Newton failed to converge in {opts.max_iterations} iterations"
         + (f" (last change {last_change:.3g})"

@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConvergenceError, SimulationError
 from .circuit import Circuit
 from .elements import CurrentSource, IntegrationCoeff, VoltageSource
@@ -102,10 +103,13 @@ def _recover_step(assemble_factory, sub_t: float, sub_step: float,
                 sub_t + sub_step, coeff, source_scale=scale),
             fallback=x if opts.hold_on_stall else None)
         try:
-            return solve_newton(assemble_factory(sub_t + sub_step, coeff),
-                                x, opts.newton, recover=recover)
+            x_new = solve_newton(assemble_factory(sub_t + sub_step, coeff),
+                                 x, opts.newton, recover=recover)
         except ConvergenceError as exc:
             error = exc
+        else:
+            obs.inc("transient.step_recoveries")
+            return x_new
     raise ConvergenceError(
         f"transient stalled at t={sub_t:.6g}s: Newton failed after "
         f"{opts.max_halvings} halvings ({error})",
@@ -194,40 +198,52 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     solutions = [x.copy()]
     t = 0.0
     accepted = 0
-    while t < t_stop - 1e-15 * t_stop:
-        if opts.pre_step is not None:
-            opts.pre_step(t, x)
-        step = min(dt, t_stop - t)
-        method = "be" if accepted < opts.be_startup_steps else opts.method
-        # Try the step; halve on Newton failure.
-        halvings = 0
-        sub_t = t
-        sub_remaining = step
-        while sub_remaining > 1e-15 * dt:
-            sub_step = sub_remaining if halvings == 0 else \
-                min(sub_remaining, step / 2 ** halvings)
-            coeff = IntegrationCoeff(method=method, dt=sub_step)
-            try:
-                x_new = solve_newton(
-                    assemble_factory(sub_t + sub_step, coeff), x, opts.newton)
-            except ConvergenceError as error:
-                halvings += 1
-                if halvings > opts.max_halvings:
-                    x_new = _recover_step(assemble_factory, sub_t, sub_step,
-                                          method, x, opts, error)
-                else:
-                    method = "be"  # BE is more robust while struggling
-                    continue
-            for element in circuit.elements:
-                element.update_history(x_new, coeff, history)
-            x = x_new
-            sub_t += sub_step
-            sub_remaining -= sub_step
-        t = sub_t
-        accepted += 1
-        if accepted % opts.record_every == 0 or t >= t_stop - 1e-15 * t_stop:
-            times.append(t)
-            solutions.append(x.copy())
+    total_halvings = 0
+    with obs.span("spice.transient", t_stop=t_stop, dt=dt,
+                  unknowns=n) as trace_span:
+        while t < t_stop - 1e-15 * t_stop:
+            if opts.pre_step is not None:
+                opts.pre_step(t, x)
+            step = min(dt, t_stop - t)
+            method = "be" if accepted < opts.be_startup_steps else opts.method
+            # Try the step; halve on Newton failure.
+            halvings = 0
+            sub_t = t
+            sub_remaining = step
+            while sub_remaining > 1e-15 * dt:
+                sub_step = sub_remaining if halvings == 0 else \
+                    min(sub_remaining, step / 2 ** halvings)
+                coeff = IntegrationCoeff(method=method, dt=sub_step)
+                try:
+                    x_new = solve_newton(
+                        assemble_factory(sub_t + sub_step, coeff), x,
+                        opts.newton)
+                except ConvergenceError as error:
+                    halvings += 1
+                    total_halvings += 1
+                    if halvings > opts.max_halvings:
+                        x_new = _recover_step(assemble_factory, sub_t,
+                                              sub_step, method, x, opts,
+                                              error)
+                    else:
+                        method = "be"  # BE is more robust while struggling
+                        continue
+                for element in circuit.elements:
+                    element.update_history(x_new, coeff, history)
+                x = x_new
+                sub_t += sub_step
+                sub_remaining -= sub_step
+            t = sub_t
+            accepted += 1
+            if accepted % opts.record_every == 0 \
+                    or t >= t_stop - 1e-15 * t_stop:
+                times.append(t)
+                solutions.append(x.copy())
+        trace_span.set(steps=accepted, halvings=total_halvings)
+    if obs.enabled():
+        obs.inc("transient.runs")
+        obs.inc("transient.steps", accepted)
+        obs.inc("transient.halvings", total_halvings)
 
     data = np.asarray(solutions)
     signals = {name: data[:, circuit.node(name)]

@@ -234,7 +234,7 @@ class TestEnsembleFaultTolerance:
         for outcome in failed:
             assert "finite" in outcome.error
         assert not result.complete
-        assert result.failure_summary()["counts"]["failed"] == len(failed)
+        assert result.telemetry.counts["failed"] == len(failed)
 
     def test_convergence_metadata_reaches_cell_outcome(self, monkeypatch):
         # Satellite: a ConvergenceError raised inside spice/transient.py
@@ -374,5 +374,5 @@ class TestAcceptance:
                         if o.status in ("ok", "recovered"))
         assert recovered / len(faulted) >= 0.9
         # The partial/failure accounting is coherent.
-        summary = result.failure_summary()
-        assert sum(summary["counts"].values()) == 50
+        telemetry = result.telemetry
+        assert sum(telemetry.counts.values()) == 50

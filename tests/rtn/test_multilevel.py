@@ -81,7 +81,7 @@ class TestSimulation:
     def test_anomalous_psd_has_two_corners(self, rng):
         """The burst envelope adds a low-frequency Lorentzian below the
         fast telegraph's corner: the PSD falls then plateaus then falls."""
-        from repro.analysis import welch_psd
+        from repro.analysis import compute_welch_psd
         # Envelope corner (act+deact)/2pi ~ 6.4 Hz; fast corner ~637 Hz;
         # the grid's Nyquist (~2.6 kHz) must sit above the fast corner.
         model = anomalous_rtn_model(
@@ -91,7 +91,7 @@ class TestSimulation:
         n = 2 ** 19
         trace, __ = simulate_multilevel_rtn(model, t_stop, rng,
                                             n_samples=n)
-        freq, psd = welch_psd(trace.current, t_stop / (n - 1),
+        freq, psd = compute_welch_psd(trace.current, t_stop / (n - 1),
                               nperseg=16384)
 
         def band_mean(lo, hi):

@@ -83,6 +83,45 @@ class TestCommands:
         with pytest.raises(ValueError):
             main(["ensemble", "--cells", "2", "--retry-attempts", "0"])
 
+    def test_ensemble_observability_exports(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.tracer import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main(["ensemble", "--cells", "2", "--seed", "1",
+                     "--verify", "0", "--margins", "0",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(telemetry_path),
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Run telemetry" in out          # --profile report
+        assert "Pipeline timings" in out
+        document = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(document) == []
+        telemetry = json.loads(telemetry_path.read_text())
+        assert telemetry["schema"] == "repro.telemetry/1"
+        assert telemetry["n_cells"] == 2
+        assert telemetry["metrics"]["counters"]["transient.runs"] >= 1
+
+    def test_report_renders_telemetry_and_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        main(["ensemble", "--cells", "2", "--seed", "1", "--verify", "0",
+              "--margins", "0", "--trace-out", str(trace_path),
+              "--metrics-out", str(telemetry_path)])
+        capsys.readouterr()
+
+        assert main(["report", str(telemetry_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run telemetry" in out
+
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "spice.transient" in out
+
     def test_fig8_exit_code_signals_compromise(self, capsys):
         # Scale 0: clean, exit 0.
         assert main(["fig8", "--seed", "2", "--scale", "0"]) == 0
