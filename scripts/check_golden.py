@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Verify or regenerate the committed golden statistics artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_golden.py            # verify
+    PYTHONPATH=src python scripts/check_golden.py --regen    # regenerate
+
+Verification recomputes every canonical scenario statistic and compares
+it against ``tests/golden/statistics.json`` under the per-entry
+tolerances (see :mod:`repro.verify.golden`).  Regeneration rewrites the
+artifact with fresh provenance (wall time, seed, library version) —
+commit the result together with the change that legitimately moved the
+numbers, and say *why* in the commit message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.verify.golden import (
+    DEFAULT_SEED,
+    compare_golden,
+    compute_golden_statistics,
+    load_golden,
+    save_golden,
+)
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" \
+    / "statistics.json"
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verify or regenerate the golden statistics artifact")
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH,
+                        help=f"artifact location (default {DEFAULT_PATH})")
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite the artifact instead of verifying")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root seed (default: the artifact's own seed, "
+                             f"or {DEFAULT_SEED} when regenerating)")
+    args = parser.parse_args(argv)
+
+    if args.regen:
+        seed = DEFAULT_SEED if args.seed is None else args.seed
+        stats = compute_golden_statistics(seed)
+        args.path.parent.mkdir(parents=True, exist_ok=True)
+        save_golden(args.path, stats, seed)
+        print(f"{args.path}: wrote {len(stats)} statistics (seed {seed})")
+        return 0
+
+    if not args.path.exists():
+        print(f"{args.path}: missing — generate it with --regen",
+              file=sys.stderr)
+        return 2
+    report = compare_golden(load_golden(args.path), seed=args.seed)
+    print(report.table())
+    if report.passed:
+        print(f"{args.path}: ok ({len(report.checks)} statistics)")
+        return 0
+    for check in report.failures:
+        print(f"{args.path}: {check.name}: {check.detail}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Lint: every test module must declare its CI tier.
+
+Usage::
+
+    python scripts/check_tiers.py [TESTS_DIR]
+
+The CI split only works if membership is total: a test file without a
+module-level ``pytestmark`` tier marker silently runs in *both* jobs
+(or, worse, is forgotten when someone flips the default).  This script
+fails the build when any ``test_*.py``/``bench_*.py`` under ``tests/``
+lacks a ``pytestmark`` line naming ``pytest.mark.tier1`` or
+``pytest.mark.tier2``.
+
+The check is syntactic (AST, no imports), so it cannot be fooled by
+expensive collection-time side effects and needs no dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+TIERS = {"tier1", "tier2"}
+
+
+def _marker_names(node: ast.AST) -> set:
+    """Tier names in a ``pytestmark`` assignment value expression."""
+    found = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in TIERS:
+            found.add(sub.attr)
+    return found
+
+
+def file_tiers(path: Path) -> set:
+    """Tier markers declared by a module-level ``pytestmark``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    tiers: set = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "pytestmark":
+                tiers |= _marker_names(node.value)
+    return tiers
+
+
+def main(argv: list) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent \
+        / "tests"
+    patterns = ("test_*.py", "bench_*.py")
+    files = sorted(p for pattern in patterns for p in root.rglob(pattern))
+    if not files:
+        print(f"{root}: no test files found", file=sys.stderr)
+        return 2
+    missing = []
+    counts = {"tier1": 0, "tier2": 0}
+    for path in files:
+        tiers = file_tiers(path)
+        if not tiers:
+            missing.append(path)
+        for tier in tiers:
+            counts[tier] += 1
+    for path in missing:
+        print(f"{path}: no module-level pytestmark tier marker "
+              "(add `pytestmark = pytest.mark.tier1` or tier2)",
+              file=sys.stderr)
+    print(f"{len(files)} test modules: {counts['tier1']} tier1, "
+          f"{counts['tier2']} tier2, {len(missing)} unmarked")
+    return 1 if missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

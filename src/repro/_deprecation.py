@@ -1,0 +1,52 @@
+"""Warn-once plumbing for the library's deprecation shims.
+
+A deprecated spelling that sits inside a hot loop (an old analysis name
+called per PSD segment, a positional propensity constructor inside a
+Monte-Carlo sweep) would otherwise emit thousands of identical
+warnings; Python's own per-module ``__warningregistry__`` dedup is
+defeated by any ``always``/``error`` filter — which is precisely what
+pytest and many CI configurations install.
+
+:func:`warn_once` therefore keeps its own registry keyed on the *call
+site* (filename and line of the frame the warning is attributed to):
+each distinct site warns exactly once per process, independent of the
+active warning filters.  Tests reset the registry between cases via
+:func:`reset_registry` (see the autouse fixture in
+``tests/conftest.py``) so every test still observes its warning.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["reset_registry", "warn_once"]
+
+#: Call sites that have already warned: ``(message, filename, lineno)``.
+_SEEN: set = set()
+
+
+def warn_once(message: str, category: type = DeprecationWarning, *,
+              stacklevel: int = 2) -> None:
+    """Emit ``message`` once per call site.
+
+    ``stacklevel`` follows the :func:`warnings.warn` convention as seen
+    from the *caller* of this function: the default of 2 attributes the
+    warning to the user code that invoked the deprecated shim (the shim
+    itself calls ``warn_once`` with the same ``stacklevel`` it would
+    have passed to ``warnings.warn``).
+    """
+    try:
+        frame = sys._getframe(stacklevel)
+        site = (message, frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:  # stack shallower than stacklevel (exec, C embed)
+        site = (message, "<unknown>", 0)
+    if site in _SEEN:
+        return
+    _SEEN.add(site)
+    warnings.warn(message, category, stacklevel=stacklevel + 1)
+
+
+def reset_registry() -> None:
+    """Forget every recorded call site (test isolation hook)."""
+    _SEEN.clear()

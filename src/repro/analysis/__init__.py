@@ -12,8 +12,7 @@ re-exported from :mod:`repro.api`.  The historical bare names
 module-level deprecation shims and will be removed in a future release.
 """
 
-import warnings
-
+from .._deprecation import warn_once
 from .autocorr import autocorrelation as compute_autocorrelation
 from .autocorr import autocovariance as compute_autocovariance
 from .dwell import DwellSummary
@@ -61,7 +60,7 @@ def __getattr__(name: str):
     if replacement is None:
         raise AttributeError(
             f"module {__name__!r} has no attribute {name!r}")
-    warnings.warn(
+    warn_once(
         f"repro.analysis.{name} is deprecated; use "
         f"repro.analysis.{replacement} (also exported from repro.api)",
         DeprecationWarning, stacklevel=2)

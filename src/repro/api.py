@@ -43,6 +43,9 @@ Analysis (estimators behind the validation figures)
     :func:`compute_psd_from_autocovariance`,
     :func:`compute_dwell_summary`, :func:`compute_dwell_exponentiality`,
     :func:`fit_lorentzian`, :func:`fit_one_over_f`
+Verification (statistical correctness harness)
+    :func:`run_verification`, :class:`VerificationReport`,
+    :class:`CheckResult`, :class:`AlphaBudget`, :class:`CaseGenerator`
 """
 
 from __future__ import annotations
@@ -109,6 +112,12 @@ _EXPORTS = {
         "repro.analysis:compute_dwell_exponentiality",
     "fit_lorentzian": "repro.analysis:fit_lorentzian",
     "fit_one_over_f": "repro.analysis:fit_one_over_f",
+    # Verification.
+    "run_verification": "repro.verify:run_suite",
+    "VerificationReport": "repro.verify:VerificationReport",
+    "CheckResult": "repro.verify:CheckResult",
+    "AlphaBudget": "repro.verify:AlphaBudget",
+    "CaseGenerator": "repro.verify:CaseGenerator",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -9,7 +9,10 @@ Small, scriptable entry points over the library's main flows:
 - ``report`` — render a telemetry or Chrome-trace JSON as tables;
 - ``snm`` — static noise margins of a cell;
 - ``traps`` — sample and summarise a device's trap population;
-- ``retention`` — DRAM VRT retention scan.
+- ``retention`` — DRAM VRT retention scan;
+- ``verify`` — run the statistical correctness suite
+  (``--statistical`` adds the tier-2 oracles, ``--golden`` compares
+  against a committed artifact).
 """
 
 from __future__ import annotations
@@ -222,6 +225,31 @@ def _cmd_retention(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import compare_golden, load_golden, run_suite
+
+    report = run_suite(seed=args.seed, statistical=args.statistical,
+                       alpha_total=args.alpha)
+    print(report.table())
+    failed = report.n_failed
+    if args.golden:
+        golden_report = compare_golden(load_golden(args.golden))
+        print()
+        print(golden_report.table())
+        failed += golden_report.n_failed
+    if args.json_out:
+        import json
+        from pathlib import Path
+
+        payload = report.to_dict()
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"report: {args.json_out}")
+    print(f"checks failed: {failed}")
+    return 0 if failed == 0 else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -298,6 +326,21 @@ def build_parser() -> argparse.ArgumentParser:
     retention.add_argument("--factor", type=float, default=3.0)
     retention.add_argument("--trials", type=int, default=20)
     retention.add_argument("--seed", type=int, default=0)
+
+    verify = sub.add_parser(
+        "verify", help="run the statistical correctness suite")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="root seed of the statistical streams")
+    verify.add_argument("--statistical", action="store_true",
+                        help="include the tier-2 statistical oracles")
+    verify.add_argument("--alpha", type=float, default=1e-4,
+                        help="family-wise false-positive budget of the "
+                             "statistical suite")
+    verify.add_argument("--golden", metavar="FILE", default=None,
+                        help="also compare against a golden artifact "
+                             "(e.g. tests/golden/statistics.json)")
+    verify.add_argument("--json-out", metavar="FILE", default=None,
+                        help="write the report as JSON")
     return parser
 
 
@@ -309,6 +352,7 @@ _HANDLERS = {
     "snm": _cmd_snm,
     "traps": _cmd_traps,
     "retention": _cmd_retention,
+    "verify": _cmd_verify,
 }
 
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from .._deprecation import warn_once
 from ..errors import ModelError, RecoveredWarning, SimulationError
 from ..obs import clock
 from ..obs.telemetry import RunTelemetry
@@ -372,7 +373,7 @@ class EnsembleResult:
             the old dictionary shape working and will be removed in a
             future release.
         """
-        warnings.warn(
+        warn_once(
             "EnsembleResult.failure_summary() is deprecated; read "
             "EnsembleResult.telemetry (a RunTelemetry) instead",
             DeprecationWarning, stacklevel=2)

@@ -50,6 +50,7 @@ import numpy as np
 from .. import obs
 from ..errors import ModelError, SimulationError
 from ..obs import clock
+from ..testing import faults as _faults
 from .occupancy import OccupancyTrace
 from .propensity import (
     ConstantTwoStatePropensity,
@@ -459,6 +460,10 @@ def _padded_sweep(batch: BatchPropensity, bounds: np.ndarray,
     p_fill_rows = batch.capture * inv_bound
     p_fill = (1.0 - w) * np.take_along_axis(p_fill_rows, idx, 1) \
         + w * np.take_along_axis(p_fill_rows, idx + 1, 1)
+    bias = _faults.kernel_bias()
+    if bias:
+        # Injected off-by-epsilon acceptance bug (verification drills).
+        p_fill = np.clip(p_fill + bias, 0.0, 1.0)
     sums, constant_sum = batch._sum_info()
     if constant_sum:
         # SAMURAI fast path: a bias-independent sum (paper Eq. 1) makes
@@ -534,7 +539,12 @@ def _flat_sweep(batch: BatchPropensity, bounds: np.ndarray,
     forced &= (t_cand > t_start) & (t_cand < t_stop)
     owner_f = owner[forced]
     t_f = t_cand[forced]
-    value_f = (draws[forced] < (lam_c / bound_at)[forced]).astype(np.int8)
+    p_fill = (lam_c / bound_at)[forced]
+    bias = _faults.kernel_bias()
+    if bias:
+        # Injected off-by-epsilon acceptance bug (verification drills).
+        p_fill = np.clip(p_fill + bias, 0.0, 1.0)
+    value_f = (draws[forced] < p_fill).astype(np.int8)
 
     if owner_f.size:
         seg_start = np.empty(owner_f.size, dtype=bool)

@@ -18,11 +18,11 @@ arbitrary time-inhomogeneous two-state chains.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from .._deprecation import warn_once
 from ..errors import ModelError
 
 ArrayLike = "float | np.ndarray"
@@ -39,7 +39,7 @@ def _positional_shim(cls_name: str, names: tuple, args: tuple,
     """
     if not args:
         return kwargs
-    warnings.warn(
+    warn_once(
         f"positional arguments to {cls_name}(...) are deprecated; "
         f"pass {', '.join(names[:len(args)])} as keywords",
         DeprecationWarning, stacklevel=3)

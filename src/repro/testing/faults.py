@@ -45,13 +45,13 @@ multiprocessing start method.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..errors import ConvergenceError, WorkerCrashError
+from .seeding import uniform_from_tags
 
 __all__ = [
     "FaultPlan",
@@ -59,6 +59,7 @@ __all__ = [
     "fire",
     "inject_faults",
     "install",
+    "kernel_bias",
     "should",
 ]
 
@@ -86,6 +87,14 @@ class FaultPlan:
         Probability a ``nan`` site corrupts a cell's RTN currents.
     batch_rate:
         Probability a ``batch`` site fails the batched trap kernel.
+    acceptance_bias:
+        Additive perturbation of the batched kernel's fill-acceptance
+        probability (an off-by-epsilon *physics* bug, not a crash).
+        The kernel stays numerically healthy — trajectories remain
+        valid — but their law drifts from the exact chain, which is
+        exactly the class of silent regression the statistical oracles
+        of :mod:`repro.verify` exist to catch.  Zero (the default)
+        leaves the kernel exact.
     """
 
     seed: int = 0
@@ -95,6 +104,7 @@ class FaultPlan:
     hang_seconds: float = 30.0
     nan_rate: float = 0.0
     batch_rate: float = 0.0
+    acceptance_bias: float = 0.0
 
     def rate_for(self, site: str) -> float:
         return {
@@ -111,9 +121,10 @@ class FaultPlan:
             return False
         if rate >= 1.0:
             return True
-        token = f"{self.seed}:{site}:{key!r}:{attempt}".encode()
-        digest = hashlib.blake2b(token, digest_size=8).digest()
-        return int.from_bytes(digest, "big") / 2.0 ** 64 < rate
+        # The shared seed-spawning convention (repro.testing.seeding)
+        # reproduces the historical token hash bit-for-bit; ``key`` has
+        # always contributed its repr, even for strings.
+        return uniform_from_tags(self.seed, site, repr(key), attempt) < rate
 
 
 def active() -> FaultPlan | None:
@@ -125,6 +136,17 @@ def install(plan: FaultPlan | None) -> None:
     """Arm ``plan`` in *this* process (executor -> worker hand-off)."""
     global _ACTIVE
     _ACTIVE = plan
+
+
+def kernel_bias() -> float:
+    """Armed acceptance-probability perturbation (0.0 when inert).
+
+    Read by the batched uniformisation kernel on each sweep; the check
+    is a single ``is None`` in the common case, so the hook costs
+    nothing outside an injection campaign.
+    """
+    plan = _ACTIVE
+    return 0.0 if plan is None else plan.acceptance_bias
 
 
 def should(site: str, key: object, attempt: int = 0) -> bool:

@@ -1,0 +1,98 @@
+"""The one seed-spawning convention shared across the test stack.
+
+Every consumer of randomness in the library takes an explicit
+``numpy.random.Generator``; nothing draws from the global
+``np.random.*`` state.  This module is the single place that turns a
+*root seed* plus a stable textual identity into independent generators,
+so the fault-injection harness (:mod:`repro.testing.faults`), the
+statistical verification harness (:mod:`repro.verify`) and any test
+that needs several independent streams all derive them the same way:
+
+- :func:`derive_seed` — hash ``(root, *tags)`` to a 64-bit integer
+  (BLAKE2b, stable across processes and Python versions, unlike
+  ``hash()``);
+- :func:`derive_rng` — a ``Generator`` keyed on ``(root, *tags)``; the
+  tags keep streams independent *by name* (``derive_rng(7, "cell", 3)``
+  never collides with ``derive_rng(7, "trap", 3)``);
+- :func:`spawn_rngs` — ``n`` independent child generators via
+  ``SeedSequence.spawn`` (the ``Generator.spawn``-style convention for
+  anonymous fan-out, e.g. one stream per Monte-Carlo replica);
+- :func:`uniform_from_tags` — a deterministic uniform in ``[0, 1)``
+  from the same hash, for reproducible yes/no decisions without
+  constructing a generator (the fault planner's primitive).
+
+Never seed from ``time``, ``os.urandom`` or bare ``np.random.*`` in
+tests or harness code: a failure that cannot be replayed from its root
+seed is a failure that cannot be shrunk or fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "spawn_rngs",
+    "spawn_seeds",
+    "uniform_from_tags",
+]
+
+
+def _token(root: int, tags: tuple) -> bytes:
+    """Canonical byte string for ``(root, *tags)``.
+
+    Matches the historical fault-plan token format
+    ``"{root}:{site}:{key!r}:{attempt}"`` so that fault decisions made
+    before the convention was factored out remain bit-identical:
+    strings pass through verbatim, everything else contributes its
+    ``repr``.
+    """
+    parts = [str(root)]
+    parts += [tag if isinstance(tag, str) else repr(tag) for tag in tags]
+    return ":".join(parts).encode()
+
+
+def derive_seed(root: int, *tags) -> int:
+    """Hash ``(root, *tags)`` into a stable 64-bit seed."""
+    digest = hashlib.blake2b(_token(root, tags), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def uniform_from_tags(root: int, *tags) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed on the tags."""
+    return derive_seed(root, *tags) / 2.0 ** 64
+
+
+def derive_rng(root: int, *tags) -> np.random.Generator:
+    """Return a generator keyed on ``(root, *tags)``.
+
+    Without tags this is exactly ``np.random.default_rng(root)`` — the
+    generator a test's ``rng`` fixture would hand out for that seed.
+    With tags, the stream is independent of the root stream and of any
+    differently-tagged stream.
+    """
+    if not tags:
+        return np.random.default_rng(root)
+    return np.random.default_rng(
+        np.random.SeedSequence(root, spawn_key=(derive_seed(root, *tags),)))
+
+
+def spawn_seeds(root: int, n: int) -> list:
+    """Return ``n`` independent child :class:`~numpy.random.SeedSequence`."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return np.random.SeedSequence(root).spawn(n)
+
+
+def spawn_rngs(root: int, n: int) -> list:
+    """Return ``n`` independent generators spawned from one root seed.
+
+    This is the convention for anonymous fan-out (one stream per
+    replica/worker/cell): ``SeedSequence(root).spawn(n)``, one
+    ``default_rng`` per child.  Use :func:`derive_rng` instead when the
+    streams have stable *names*.
+    """
+    return [np.random.default_rng(child) for child in spawn_seeds(root, n)]

@@ -1,0 +1,215 @@
+"""Golden statistical artifacts: committed numbers, not raw traces.
+
+Raw trajectory dumps make terrible regression anchors: they are huge,
+they churn on any legitimate change to draw order, and a diff tells a
+reviewer nothing.  The golden layer instead commits a small JSON file
+of *summary statistics* of canonical scenarios, each with an explicit
+tolerance:
+
+- deterministic numbers (SNM of the default cell, DC-op rail voltages,
+  the Eq.-1 propensity sum of a reference trap, integrator error on the
+  RC closed form) carry tight tolerances and catch silent changes to
+  the deterministic pipeline;
+- statistical numbers (population mean occupancy, pooled dwell mean,
+  kernel acceptance ratio at a fixed seed) carry CLT-derived
+  tolerances sized so that *any correct kernel* — including one whose
+  refactor changed the draw order — stays inside, while an
+  off-by-epsilon physics bug does not.
+
+Regenerate with ``scripts/check_golden.py --regen`` (provenance — wall
+time via :mod:`repro.obs.clock`, seed, library version — is stamped
+into the artifact) and verify with the same script or the tier-1 test.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..obs import clock
+from .result import CheckResult, VerificationReport
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "compare_golden",
+    "compute_golden_statistics",
+    "load_golden",
+    "save_golden",
+]
+
+GOLDEN_SCHEMA = 1
+DEFAULT_SEED = 20110314
+
+
+def _entry(value: float, abs_tol: float, detail: str) -> dict:
+    return {"value": float(value), "abs_tol": float(abs_tol),
+            "detail": detail}
+
+
+def compute_golden_statistics(seed: int = DEFAULT_SEED) -> dict:
+    """Compute the canonical scenario statistics at ``seed``.
+
+    Returns ``name -> {value, abs_tol, detail}``.  Statistical entries
+    derive their randomness from ``seed`` via the shared spawning
+    convention; their tolerances are ~6 standard errors, so two
+    independent correct runs (e.g. before and after a draw-order
+    refactor) agree with overwhelming probability.
+    """
+    from ..devices.technology import TECH_90NM
+    from ..markov.batch import BatchPropensity, simulate_traps_batch
+    from ..sram.cell import SramCellSpec
+    from ..sram.margins import static_noise_margin
+    from ..testing.seeding import spawn_rngs
+    from ..traps.propensity import propensity_sum
+    from ..traps.trap import Trap
+    from .oracles import pooled_dwell_times
+    from .spice_checks import (
+        check_sram_bistability,
+        check_transient_charge_conservation,
+        check_transient_rc_analytic,
+    )
+
+    stats: dict = {}
+
+    # --- deterministic pipeline -------------------------------------
+    tech = TECH_90NM
+    trap = Trap(y_tr=0.3 * tech.t_ox, e_tr=0.0)
+    stats["traps.propensity_sum_ref"] = _entry(
+        propensity_sum(trap, tech), propensity_sum(trap, tech) * 1e-9,
+        "Eq.-1 sum of the reference trap (0.3 t_ox, 90nm card) [1/s]")
+
+    snm = static_noise_margin(SramCellSpec())
+    stats["sram.snm_hold_90nm"] = _entry(
+        snm, 0.02 * snm,
+        "hold SNM of the default 90nm cell [V] (2% numeric headroom)")
+
+    bistable = check_sram_bistability()
+    stats["spice.dcop_q_high_90nm"] = _entry(
+        bistable.extras["q_high"], 0.02 * tech.vdd,
+        "stored-1 Q rail voltage of the default cell [V]")
+
+    rc = check_transient_rc_analytic()
+    stats["spice.rc_analytic_error"] = _entry(
+        rc.statistic, 1e-3,
+        "max |V - V0 exp(-t/RC)| / V0 of the RC probe")
+
+    charge = check_transient_charge_conservation()
+    stats["spice.charge_conservation_error"] = _entry(
+        charge.statistic, 1e-4,
+        "relative charge imbalance of the I-into-C probe")
+
+    # --- stochastic kernels (seed-derived) --------------------------
+    n_traps, lam_c, lam_e, t_stop = 256, 1.0, 1.0, 50.0
+    init_rng, sim_rng = spawn_rngs(seed, 2)
+    p_inf = lam_c / (lam_c + lam_e)
+    init = (init_rng.random(n_traps) < p_inf).astype(np.int8)
+    batch = BatchPropensity(
+        times=np.array([0.0, t_stop]),
+        capture=np.full((n_traps, 2), lam_c),
+        emission=np.full((n_traps, 2), lam_e))
+    traces, kstats = simulate_traps_batch(batch, 0.0, t_stop, sim_rng,
+                                          initial_states=init)
+
+    fractions = np.array([trace.fraction_filled() for trace in traces])
+    se_occ = float(fractions.std(ddof=1)) / math.sqrt(n_traps)
+    stats["markov.batch_mean_occupancy"] = _entry(
+        float(fractions.mean()), 6.0 * se_occ,
+        f"mean filled fraction of {n_traps} stationary traps "
+        f"(lam_c=lam_e={lam_c:g}, T={t_stop:g}s, seed {seed})")
+
+    hops = np.array([trace.n_transitions for trace in traces], dtype=float)
+    se_hops = float(hops.std(ddof=1)) / math.sqrt(n_traps)
+    stats["markov.batch_mean_transitions"] = _entry(
+        float(hops.mean()), 6.0 * se_hops,
+        "mean transition count per trap of the same population")
+
+    ratios = kstats.n_accepted / np.maximum(kstats.n_candidates, 1)
+    se_ratio = float(np.std(ratios, ddof=1)) / math.sqrt(n_traps)
+    stats["markov.batch_acceptance_ratio"] = _entry(
+        float(kstats.aggregate.acceptance_ratio), 6.0 * se_ratio,
+        "population acceptance ratio of the batched kernel")
+
+    dwells = pooled_dwell_times(traces, 1)
+    se_dwell = float(dwells.std(ddof=1)) / math.sqrt(dwells.size)
+    stats["markov.dwell_mean_filled"] = _entry(
+        float(dwells.mean()), 6.0 * se_dwell,
+        f"pooled filled-state dwell mean [s] ({dwells.size} dwells, "
+        f"analytic 1/lam_e = {1.0 / lam_e:g}s)")
+
+    return stats
+
+
+def save_golden(path, stats: dict, seed: int = DEFAULT_SEED) -> None:
+    """Write a golden artifact with provenance."""
+    from .. import __version__
+
+    payload = {
+        "schema": GOLDEN_SCHEMA,
+        "provenance": {
+            "generated_at": clock.wall(),
+            "seed": int(seed),
+            "library_version": __version__,
+        },
+        "entries": stats,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_golden(path) -> dict:
+    """Load and schema-check a golden artifact."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise AnalysisError(
+            f"golden artifact {path} has schema "
+            f"{payload.get('schema')!r}, expected {GOLDEN_SCHEMA}")
+    if "entries" not in payload or "provenance" not in payload:
+        raise AnalysisError(f"golden artifact {path} is missing sections")
+    return payload
+
+
+def compare_golden(golden: dict, current: dict | None = None,
+                   seed: int | None = None) -> VerificationReport:
+    """Compare freshly computed statistics against a golden artifact.
+
+    Each entry passes while ``|current - golden| <= hypot(tol_g,
+    tol_c)`` (both runs carry sampling error).  Entries present in only
+    one side fail loudly — a silently dropped statistic is itself a
+    regression.
+    """
+    if seed is None:
+        seed = int(golden.get("provenance", {}).get("seed", DEFAULT_SEED))
+    if current is None:
+        current = compute_golden_statistics(seed)
+    entries = golden["entries"]
+
+    checks = []
+    for name in sorted(set(entries) | set(current)):
+        if name not in entries:
+            checks.append(CheckResult(
+                name=f"golden.{name}", passed=False, statistic=float("nan"),
+                threshold=0.0, kind="exact",
+                detail="statistic missing from the committed artifact "
+                       "(regenerate with scripts/check_golden.py --regen)"))
+            continue
+        if name not in current:
+            checks.append(CheckResult(
+                name=f"golden.{name}", passed=False, statistic=float("nan"),
+                threshold=0.0, kind="exact",
+                detail="statistic no longer computed by the library"))
+            continue
+        ref, cur = entries[name], current[name]
+        tol = math.hypot(float(ref["abs_tol"]), float(cur["abs_tol"]))
+        delta = abs(float(cur["value"]) - float(ref["value"]))
+        checks.append(CheckResult.from_bound(
+            f"golden.{name}", delta, tol,
+            detail=(f"golden {ref['value']:.6g}, current "
+                    f"{cur['value']:.6g}"),
+            golden_value=float(ref["value"]),
+            current_value=float(cur["value"])))
+    return VerificationReport(checks=tuple(checks), seed=seed)

@@ -1,0 +1,175 @@
+"""Check results and verification reports.
+
+Every oracle in :mod:`repro.verify` returns a :class:`CheckResult` — a
+uniform record of what was compared, against which threshold, and
+whether it passed — so suites, the ``repro verify`` CLI and the golden
+regression script can aggregate heterogeneous checks (p-value tests,
+residual bounds, exact invariants) into one report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..obs import clock
+
+__all__ = ["CheckResult", "VerificationReport"]
+
+#: How ``statistic`` relates to ``threshold``.
+_KINDS = ("p_value", "bound", "exact")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one verification check.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier of the check (``"markov.stationary_occupancy"``).
+    passed:
+        The verdict.
+    statistic:
+        The headline number the verdict was derived from.
+    threshold:
+        The boundary it was compared against.
+    kind:
+        ``"p_value"`` (pass while ``statistic >= threshold``),
+        ``"bound"`` (pass while ``statistic <= threshold``) or
+        ``"exact"`` (threshold is informational).
+    detail:
+        One-line human context (sample sizes, tolerances, units).
+    extras:
+        Auxiliary numbers worth keeping (per-component statistics).
+    """
+
+    name: str
+    passed: bool
+    statistic: float
+    threshold: float
+    kind: str = "bound"
+    detail: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise AnalysisError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pvalue(cls, name: str, p_value: float, alpha: float,
+                    detail: str = "", **extras) -> "CheckResult":
+        """A statistical check: pass while ``p_value >= alpha``."""
+        return cls(name=name, passed=bool(p_value >= alpha),
+                   statistic=float(p_value), threshold=float(alpha),
+                   kind="p_value", detail=detail, extras=dict(extras))
+
+    @classmethod
+    def from_bound(cls, name: str, value: float, tolerance: float,
+                   detail: str = "", **extras) -> "CheckResult":
+        """A numeric check: pass while ``value <= tolerance``."""
+        return cls(name=name, passed=bool(value <= tolerance),
+                   statistic=float(value), threshold=float(tolerance),
+                   kind="bound", detail=detail, extras=dict(extras))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "statistic": self.statistic,
+            "threshold": self.threshold,
+            "kind": self.kind,
+            "detail": self.detail,
+            "extras": dict(self.extras),
+        }
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """A suite of check results plus provenance.
+
+    Attributes
+    ----------
+    checks:
+        The results, in execution order.
+    seed:
+        Root seed the statistical checks derived their streams from.
+    alpha_total:
+        The family-wise false-positive budget the statistical checks
+        shared (Bonferroni-split across them), or 0.0 for purely
+        deterministic suites.
+    generated_at:
+        Wall-clock stamp (``repro.obs.clock.wall``) of the run.
+    """
+
+    checks: tuple
+    seed: int = 0
+    alpha_total: float = 0.0
+    generated_at: float = field(default_factory=clock.wall)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "checks", tuple(self.checks))
+
+    # ------------------------------------------------------------------
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for check in self.checks if not check.passed)
+
+    @property
+    def failures(self) -> list:
+        return [check for check in self.checks if not check.passed]
+
+    def __iter__(self):
+        return iter(self.checks)
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+    def __getitem__(self, name: str) -> CheckResult:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def table(self, title: str = "Verification report") -> str:
+        """Render the report as an ASCII table."""
+        from ..core.report import format_table
+
+        rows = []
+        for check in self.checks:
+            rows.append([
+                check.name,
+                "pass" if check.passed else "FAIL",
+                f"{check.statistic:.3g}",
+                f"{'>=' if check.kind == 'p_value' else '<='} "
+                f"{check.threshold:.3g}",
+                check.detail,
+            ])
+        return format_table(
+            ["check", "verdict", "statistic", "threshold", "detail"],
+            rows, title=title)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "generated_at": self.generated_at,
+            "seed": self.seed,
+            "alpha_total": self.alpha_total,
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    def to_json(self, path) -> None:
+        """Write the report (with provenance) as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -10,6 +10,8 @@ from repro.errors import AnalysisError
 from repro.markov.analytic import stationary_autocorrelation
 from repro.markov.gillespie import simulate_constant
 
+pytestmark = pytest.mark.tier1
+
 
 class TestInterface:
     def test_rejects_short_trace(self):

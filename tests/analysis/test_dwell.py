@@ -15,6 +15,8 @@ from repro.errors import AnalysisError
 from repro.markov.gillespie import simulate_constant
 from repro.markov.occupancy import OccupancyTrace
 
+pytestmark = pytest.mark.tier1
+
 
 class TestExponentialityPvalue:
     def test_accepts_exponential_sample(self, rng):

@@ -13,6 +13,8 @@ from repro.analysis.fitting import (
 from repro.errors import AnalysisError
 from repro.markov.analytic import lorentzian_psd, superposed_lorentzian_psd
 
+pytestmark = pytest.mark.tier1
+
 
 class TestLogRmsError:
     def test_zero_for_identical(self):

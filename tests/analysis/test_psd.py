@@ -15,6 +15,8 @@ from repro.markov.analytic import (
 )
 from repro.markov.gillespie import simulate_constant
 
+pytestmark = pytest.mark.tier1
+
 
 class TestInterface:
     def test_welch_rejects_short(self):

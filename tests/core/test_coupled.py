@@ -13,6 +13,8 @@ from repro.sram.patterns import write_pattern
 from repro.traps.band import crossing_energy
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 def fast_trap(v_cross: float) -> Trap:
     """A trap fast enough to toggle inside a nanosecond-scale run."""

@@ -14,6 +14,8 @@ from repro.core.ensemble import (
 from repro.core.experiments import fig8_cell_spec, fig8_pattern
 from repro.errors import SimulationError
 
+pytestmark = pytest.mark.tier1
+
 N_CELLS = 4
 
 

@@ -15,6 +15,8 @@ from repro.core.experiments import (
 )
 from repro.sram.detectors import OpOutcome
 
+pytestmark = pytest.mark.tier1
+
 
 class TestConfigurationShape:
     def test_bits_match_paper(self):

@@ -15,6 +15,8 @@ from repro.sram.patterns import write_pattern
 from repro.traps.band import crossing_energy
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 #: A short pattern keeps each pipeline test to ~1 s.
 SHORT_BITS = [1, 0, 1]
 

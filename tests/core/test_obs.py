@@ -29,6 +29,8 @@ from repro.obs.telemetry import (
 )
 from repro.obs.tracer import NULL_SPAN, Tracer, validate_chrome_trace
 
+pytestmark = pytest.mark.tier1
+
 
 @pytest.fixture(autouse=True)
 def _obs_off():

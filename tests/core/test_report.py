@@ -9,6 +9,8 @@ import pytest
 from repro.core.report import format_table, sparkline, write_csv
 from repro.errors import AnalysisError
 
+pytestmark = pytest.mark.tier1
+
 
 class TestFormatTable:
     def test_basic_layout(self):

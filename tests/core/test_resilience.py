@@ -24,6 +24,8 @@ from repro.core.resilience import (
 from repro.errors import ConvergenceError, RecoveredWarning
 from repro.testing.faults import inject_faults
 
+pytestmark = pytest.mark.tier1
+
 
 def square(x):
     return x * x

@@ -14,6 +14,8 @@ from repro.traps.band import crossing_energy
 from repro.traps.profiling import TrapProfiler
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 def flat_biases(cell, v_drive=0.6, i_d=1e-5, n=64, t_stop=1e-5):
     times = np.linspace(0.0, t_stop, n)

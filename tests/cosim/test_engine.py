@@ -15,6 +15,8 @@ from repro.spice.sources import DC
 from repro.traps.band import crossing_energy
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 def fast_trap(v_cross: float = 0.5, y: float = 0.2e-9) -> Trap:
     return Trap(y_tr=y, e_tr=crossing_energy(v_cross, y, TECH_90NM))

@@ -20,6 +20,8 @@ from repro.devices.mosfet import MosfetParams
 from repro.devices.technology import TECH_90NM
 from repro.errors import ModelError
 
+pytestmark = pytest.mark.tier1
+
 NMOS = MosfetParams.nominal(TECH_90NM, "n")
 PMOS = MosfetParams.nominal(TECH_90NM, "p")
 

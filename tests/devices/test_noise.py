@@ -15,6 +15,8 @@ from repro.devices.noise import (
 from repro.devices.technology import TECH_90NM
 from repro.errors import ModelError
 
+pytestmark = pytest.mark.tier1
+
 NMOS = MosfetParams.nominal(TECH_90NM, "n")
 
 

@@ -17,6 +17,8 @@ from repro.devices.technology import (
 )
 from repro.errors import ModelError
 
+pytestmark = pytest.mark.tier1
+
 ALL_CARDS = (TECH_180NM, TECH_90NM, TECH_45NM, TECH_22NM)
 
 

@@ -17,6 +17,8 @@ from repro.traps.band import crossing_energy
 from repro.traps.propensity import rates_from_bias
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 def slow_defect(spec: DramCellSpec) -> Trap:
     """A defect toggling a few times per retention window."""
@@ -56,6 +58,18 @@ class TestVrtLevels:
         small, __ = vrt_levels(DramCellSpec(storage_capacitance=10e-15))
         large, __ = vrt_levels(DramCellSpec(storage_capacitance=50e-15))
         assert large > 4 * small
+
+
+class TestSenseThreshold:
+    def test_higher_threshold_shortens_retention(self):
+        """Behavioural: raising the sense threshold trips the loss
+        earlier on the same decay curve."""
+        spec = DramCellSpec()
+        strict = DramCellSpec(
+            sense_threshold=0.75 * spec.stored_level)
+        slow_default, __ = vrt_levels(spec)
+        slow_strict, __ = vrt_levels(strict)
+        assert slow_strict < 0.8 * slow_default
 
 
 class TestRetentionTrial:

@@ -19,6 +19,8 @@ from repro.markov.analytic import (
     superposed_lorentzian_psd,
 )
 
+pytestmark = pytest.mark.tier1
+
 rates = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
 
 

@@ -25,6 +25,8 @@ from repro.markov.propensity import (
 )
 from repro.markov.uniformization import simulate_trap
 
+pytestmark = pytest.mark.tier1
+
 GRID = np.linspace(0.0, 1.0, 1001)
 
 

@@ -13,6 +13,8 @@ from repro.markov.ctmc import (
     validate_generator,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestGeneratorValidation:
     def test_accepts_valid(self):

@@ -10,6 +10,8 @@ from repro.errors import SimulationError
 from repro.markov.analytic import stationary_occupancy
 from repro.markov.gillespie import simulate_constant, sojourn_mean
 
+pytestmark = pytest.mark.tier1
+
 
 class TestInterface:
     def test_rejects_negative_rates(self, rng):

@@ -10,6 +10,8 @@ from hypothesis import strategies as st
 from repro.errors import AnalysisError, ModelError
 from repro.markov.occupancy import OccupancyTrace, number_filled
 
+pytestmark = pytest.mark.tier1
+
 
 def make_trace() -> OccupancyTrace:
     return OccupancyTrace(

@@ -12,6 +12,8 @@ from repro.markov.piecewise import bias_steps_to_piecewise, simulate_piecewise
 from repro.markov.propensity import CallableTwoStatePropensity
 from repro.markov.uniformization import simulate_trap
 
+pytestmark = pytest.mark.tier1
+
 
 class TestInterface:
     def test_rejects_bad_breakpoints(self, rng):

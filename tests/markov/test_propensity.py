@@ -15,6 +15,8 @@ from repro.markov.propensity import (
     TwoStatePropensity,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestConstantPropensity:
     def test_values_and_bound(self):

@@ -15,6 +15,8 @@ from repro.markov.propensity import (
     make_propensity,
 )
 
+pytestmark = pytest.mark.tier1
+
 TIMES = np.array([0.0, 0.5, 1.0])
 RATES = np.array([1.0, 2.0, 4.0])
 

@@ -29,6 +29,8 @@ from repro.markov.uniformization import (
     simulate_traps,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestInterface:
     def test_rejects_bad_window(self, rng):

@@ -16,6 +16,8 @@ from repro.traps.band import crossing_energy
 from repro.traps.propensity import rates_from_bias
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 def loop() -> PllSpec:
     return PllSpec()
@@ -51,6 +53,22 @@ class TestPullOut:
         from repro.oscillators.pll import _step_response_peak
         assert _step_response_peak(spec, 0.8 * po) < 2 * np.pi
         assert _step_response_peak(spec, 1.3 * po) >= 2 * np.pi
+
+
+class TestPullOutScaling:
+    def test_pull_out_tracks_loop_bandwidth(self):
+        """A stiffer loop (4x charge-pump current: 2x natural frequency
+        AND 2x damping) absorbs at least proportionally larger
+        frequency steps — super-linear in the bandwidth because the
+        extra damping also trims the transient peak."""
+        base = loop()
+        stiff = PllSpec(i_cp=4.0 * base.i_cp)
+        assert stiff.natural_frequency == pytest.approx(
+            2.0 * base.natural_frequency, rel=1e-9)
+        assert stiff.damping == pytest.approx(2.0 * base.damping,
+                                              rel=1e-9)
+        ratio = pull_out_frequency(stiff) / pull_out_frequency(base)
+        assert 2.0 < ratio < 8.0
 
 
 class TestRtnDrivenLoop:

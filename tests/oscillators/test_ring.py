@@ -17,6 +17,8 @@ from repro.spice.waveform import Waveform
 from repro.traps.band import crossing_energy
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 class TestBuild:
     def test_validation(self):
@@ -72,6 +74,21 @@ class TestOscillation:
         ring, waveform = free_run
         for node in ring.nodes:
             assert measure_periods(waveform, node, 0.5 * ring.vdd).size > 10
+
+    def test_period_scales_with_stage_count(self, free_run):
+        """2 N t_pd: a 5-stage ring runs ~5/3 slower than a 3-stage
+        ring built from the same devices."""
+        __, waveform3 = free_run
+        ring5 = build_ring_oscillator(TECH_90NM, n_stages=5)
+        waveform5 = simulate_transient(
+            ring5.circuit, 3e-9, 2e-12,
+            initial_voltages=ring5.initial_voltages(),
+            options=TransientOptions(record_every=2))
+        period3 = measure_periods(waveform3, "n0", 0.5 * TECH_90NM.vdd
+                                  ).mean()
+        period5 = measure_periods(waveform5, "n0", 0.5 * TECH_90NM.vdd
+                                  ).mean()
+        assert period5 / period3 == pytest.approx(5.0 / 3.0, rel=0.15)
 
     def test_measure_periods_needs_oscillation(self):
         times = np.linspace(0.0, 1e-9, 100)

@@ -19,6 +19,8 @@ from repro.traps.band import crossing_energy
 from repro.traps.profiling import TrapProfiler
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 DEVICE = MosfetParams.nominal(TECH_90NM, "n")
 
 
@@ -88,6 +90,33 @@ class TestRtnFluctuation:
         one = rtn_fluctuation(DEVICE, [trap], 0.5)
         four = rtn_fluctuation(DEVICE, [trap] * 4, 0.5)
         assert four == pytest.approx(2.0 * one, rel=1e-6)
+
+
+class TestRecoverableComponent:
+    def test_equal_stress_and_use_bias_means_no_nbti(self):
+        """The recoverable shift is an occupancy *difference*: with no
+        bias excursion there is nothing to recover."""
+        traps = [trap_crossing_at(v) for v in (0.3, 0.5, 0.7)]
+        shift = nbti_threshold_shift(DEVICE, traps, stress_bias=0.5,
+                                     use_bias=0.5)
+        assert shift == pytest.approx(0.0, abs=1e-18)
+
+
+class TestSeededReproducibility:
+    def test_population_replays_from_the_shared_convention(self):
+        """Reliability sampling replays bit-for-bit from a derived
+        seed, like every other stochastic stage in the library."""
+        from repro.testing.seeding import derive_rng
+
+        kwargs = dict(n_devices=20)
+        a = sample_reliability_population(
+            DEVICE, TrapProfiler(TECH_90NM), derive_rng(9, "nbti"),
+            **kwargs)
+        b = sample_reliability_population(
+            DEVICE, TrapProfiler(TECH_90NM), derive_rng(9, "nbti"),
+            **kwargs)
+        assert [d.nbti_shift for d in a] == [d.nbti_shift for d in b]
+        assert [d.rtn_rms for d in a] == [d.rtn_rms for d in b]
 
 
 class TestCorrelation:

@@ -17,6 +17,8 @@ from repro.rtn.current import (
     rtn_current_samples,
 )
 
+pytestmark = pytest.mark.tier1
+
 NMOS_90 = MosfetParams.nominal(TECH_90NM, "n")
 NMOS_22 = MosfetParams.nominal(TECH_22NM, "n")
 

@@ -14,6 +14,8 @@ from repro.rtn.multilevel import (
     simulate_multilevel_rtn,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def two_state_model(lam_c=100.0, lam_e=50.0, amp=1e-6) -> MultiLevelTrapModel:
     return MultiLevelTrapModel(

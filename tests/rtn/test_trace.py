@@ -10,6 +10,8 @@ from hypothesis import strategies as st
 from repro.errors import AnalysisError, ModelError
 from repro.rtn.trace import RTNTrace
 
+pytestmark = pytest.mark.tier1
+
 
 def make_trace() -> RTNTrace:
     return RTNTrace(times=np.array([0.0, 1.0, 2.0, 3.0]),

@@ -18,6 +18,8 @@ from repro.traps.band import crossing_energy
 from repro.traps.propensity import propensity_sum, rates_from_bias
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 NMOS = MosfetParams.nominal(TECH_90NM, "n")
 
 

@@ -19,6 +19,8 @@ from repro.spice.elements import (
 )
 from repro.spice.sources import DC
 
+pytestmark = pytest.mark.tier1
+
 
 def rc_lowpass(r=1e3, c=1e-9) -> Circuit:
     circuit = Circuit("rc")

@@ -11,6 +11,8 @@ from repro.spice.circuit import Circuit
 from repro.spice.elements import Capacitor, Resistor, VoltageSource
 from repro.spice.sources import DC, PULSE
 
+pytestmark = pytest.mark.tier1
+
 
 def rc_circuit(tau_parts=(1e3, 1e-9)) -> Circuit:
     r, c_val = tau_parts

@@ -11,6 +11,8 @@ from repro.spice.elements import Resistor, VoltageSource
 from repro.spice.mna import GROUND, Stamper
 from repro.spice.sources import DC
 
+pytestmark = pytest.mark.tier1
+
 
 class TestCircuit:
     def test_node_registration(self):

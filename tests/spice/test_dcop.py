@@ -19,6 +19,8 @@ from repro.spice.elements import (
 )
 from repro.spice.sources import DC, PULSE
 
+pytestmark = pytest.mark.tier1
+
 
 def nmos(width=0.24e-6):
     return MosfetParams(width=width, length=TECH_90NM.node, polarity="n",

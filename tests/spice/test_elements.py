@@ -24,6 +24,8 @@ from repro.spice.elements import (
 from repro.spice.mna import Stamper
 from repro.spice.sources import DC
 
+pytestmark = pytest.mark.tier1
+
 
 class TestValidation:
     def test_resistor_positive(self):

@@ -22,6 +22,8 @@ from repro.spice.netlist import parse_netlist
 from repro.spice.sources import DC, PULSE, PWL, SIN
 from repro.spice.transient import simulate_transient
 
+pytestmark = pytest.mark.tier1
+
 
 class TestStimulusFormatting:
     def test_dc(self):

@@ -12,6 +12,8 @@ from repro.spice.netlist import parse_netlist
 from repro.spice.sources import DC, PULSE, PWL, SIN
 from repro.spice.transient import simulate_transient
 
+pytestmark = pytest.mark.tier1
+
 
 class TestBasicCards:
     def test_rc_deck(self):

@@ -8,6 +8,8 @@ import pytest
 from repro.errors import ConvergenceError, RecoveredWarning
 from repro.spice.newton import NewtonOptions, NewtonRecovery, solve_newton
 
+pytestmark = pytest.mark.tier1
+
 
 def fixed_point(g):
     """Assembler for the 1-D fixed-point iteration ``x -> g(x)``."""

@@ -19,6 +19,8 @@ from repro.spice.elements import Capacitor, CurrentSource, Resistor, VoltageSour
 from repro.spice.sources import DC
 from repro.spice.transient import simulate_transient
 
+pytestmark = pytest.mark.tier1
+
 resistances = st.lists(st.floats(min_value=10.0, max_value=1e6),
                        min_size=2, max_size=10)
 

@@ -8,6 +8,8 @@ import pytest
 from repro.errors import NetlistError
 from repro.spice.sources import DC, PULSE, PWL, SIN
 
+pytestmark = pytest.mark.tier1
+
 
 class TestDC:
     def test_constant(self):

@@ -20,6 +20,8 @@ from repro.spice.elements import (
 from repro.spice.sources import DC, PULSE, PWL, SIN
 from repro.spice.transient import TransientOptions, simulate_transient
 
+pytestmark = pytest.mark.tier1
+
 
 def rc_circuit(v_in=1.0, r=1e3, c_val=1e-9) -> Circuit:
     c = Circuit("rc")

@@ -8,6 +8,8 @@ import pytest
 from repro.errors import AnalysisError
 from repro.spice.waveform import Waveform
 
+pytestmark = pytest.mark.tier1
+
 
 def make_waveform() -> Waveform:
     t = np.linspace(0.0, 1.0, 11)

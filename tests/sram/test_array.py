@@ -15,6 +15,8 @@ from repro.sram.array import (
 from repro.sram.cell import SramCellSpec, TRANSISTOR_NAMES
 from repro.sram.patterns import write_pattern
 
+pytestmark = pytest.mark.tier1
+
 TINY_PATTERN = write_pattern([1, 0], cycle=5e-9, wl_delay=1e-9,
                              wl_width=2e-9)
 

@@ -10,6 +10,8 @@ from repro.sram.biases import extract_biases
 from repro.sram.cell import SramCellSpec, build_sram_cell
 from repro.sram.patterns import build_pattern_waveforms, write_pattern
 
+pytestmark = pytest.mark.tier1
+
 
 @pytest.fixture(scope="module")
 def write_run():

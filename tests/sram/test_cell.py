@@ -15,6 +15,8 @@ from repro.sram.cell import (
     build_sram_cell,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestSpec:
     def test_defaults(self):

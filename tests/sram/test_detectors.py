@@ -15,6 +15,8 @@ from repro.sram.detectors import (
 )
 from repro.sram.patterns import write_pattern
 
+pytestmark = pytest.mark.tier1
+
 VDD = 1.0
 
 

@@ -15,6 +15,8 @@ from repro.sram.injection import (
     detach_rtn_sources,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def flat_trace(value: float, label: str = "") -> RTNTrace:
     return RTNTrace(times=np.array([0.0, 1e-7]),

@@ -13,6 +13,8 @@ from repro.sram.margins import (
     wordline_write_margin,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestVtc:
     def test_mode_validation(self):

@@ -8,6 +8,8 @@ from repro.errors import SimulationError
 from repro.sram.patterns import Operation, build_pattern_waveforms, write_pattern
 from repro.sram.patterns import TestPattern as Pattern  # alias: pytest must not collect it
 
+pytestmark = pytest.mark.tier1
+
 
 class TestOperation:
     def test_write_needs_bit(self):

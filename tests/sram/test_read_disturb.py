@@ -19,6 +19,8 @@ from repro.sram.margins import static_noise_margin
 from repro.sram.patterns import Operation
 from repro.sram.patterns import TestPattern as Pattern  # alias: pytest must not collect it
 
+pytestmark = pytest.mark.tier1
+
 
 def read_pattern() -> Pattern:
     """Write a 1, read it twice, write a 0, read it."""

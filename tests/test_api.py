@@ -9,6 +9,8 @@ import pytest
 
 from repro import api
 
+pytestmark = pytest.mark.tier1
+
 
 class TestSurface:
     def test_every_blessed_name_resolves(self):

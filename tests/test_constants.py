@@ -14,6 +14,8 @@ from repro.constants import (
     thermal_voltage,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestThermalQuantities:
     def test_room_temperature_value(self):

@@ -1,0 +1,92 @@
+"""Tests for the warn-once deprecation machinery and the shims on it."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro._deprecation import reset_registry, warn_once
+
+pytestmark = pytest.mark.tier1
+
+
+def _collect(func, n: int = 3) -> list:
+    """Run ``func`` ``n`` times recording every warning raised."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(n):
+            func()
+    return caught
+
+
+class TestWarnOnce:
+    def test_one_site_warns_once(self):
+        caught = _collect(lambda: warn_once("old thing", stacklevel=1))
+        assert len(caught) == 1
+        assert "old thing" in str(caught[0].message)
+        assert caught[0].category is DeprecationWarning
+
+    def test_distinct_sites_each_warn(self):
+        def site_a():
+            warn_once("moved", stacklevel=1)
+
+        def site_b():
+            warn_once("moved", stacklevel=1)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            site_a()
+            site_a()
+            site_b()
+            site_b()
+        assert len(caught) == 2
+
+    def test_distinct_messages_at_one_site_each_warn(self):
+        messages = ["first message", "second message"]
+        caught = _collect(
+            lambda: [warn_once(m, stacklevel=1) for m in messages], n=2)
+        assert len(caught) == 2
+
+    def test_reset_registry_rearms(self):
+        def site():
+            warn_once("rearmed", stacklevel=1)
+
+        assert len(_collect(site)) == 1
+        reset_registry()
+        assert len(_collect(site)) == 1
+
+    def test_custom_category(self):
+        caught = _collect(
+            lambda: warn_once("f", FutureWarning, stacklevel=1), n=1)
+        assert caught[0].category is FutureWarning
+
+
+class TestShimsWarnOncePerSite:
+    def test_analysis_rename_shim(self):
+        import repro.analysis as analysis
+
+        caught = _collect(lambda: analysis.autocorrelation)
+        assert len(caught) == 1
+        assert "compute_autocorrelation" in str(caught[0].message)
+
+    def test_propensity_positional_shim(self):
+        from repro.markov.propensity import ConstantTwoStatePropensity
+
+        caught = _collect(lambda: ConstantTwoStatePropensity(1.0, 2.0))
+        assert len(caught) == 1
+        assert "keyword" in str(caught[0].message)
+
+    def test_keyword_calls_stay_silent(self):
+        from repro.markov.propensity import ConstantTwoStatePropensity
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ConstantTwoStatePropensity(lambda_c=1.0, lambda_e=2.0)
+
+    def test_pytest_warns_still_sees_the_first_hit(self):
+        """The idiom every shim test in the suite relies on."""
+        import repro.analysis as analysis
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            analysis.summarise_dwells

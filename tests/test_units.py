@@ -9,6 +9,8 @@ from hypothesis import strategies as st
 from repro.errors import NetlistError
 from repro.units import format_si, parse_value
 
+pytestmark = pytest.mark.tier1
+
 
 class TestParseValue:
     @pytest.mark.parametrize("text,expected", [

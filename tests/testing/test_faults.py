@@ -8,6 +8,8 @@ from repro.errors import ConvergenceError, WorkerCrashError
 from repro.testing import faults
 from repro.testing.faults import FaultPlan, inject_faults
 
+pytestmark = pytest.mark.tier1
+
 
 class TestDecisions:
     def test_deterministic(self):

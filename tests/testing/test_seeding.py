@@ -1,0 +1,121 @@
+"""Tests for the shared seed-spawning convention."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.testing.seeding import (
+    derive_rng,
+    derive_seed,
+    spawn_rngs,
+    spawn_seeds,
+    uniform_from_tags,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestDeriveSeed:
+    def test_deterministic_across_calls(self):
+        assert derive_seed(7, "cell", 3) == derive_seed(7, "cell", 3)
+
+    def test_tags_separate_streams(self):
+        assert derive_seed(7, "cell", 3) != derive_seed(7, "trap", 3)
+        assert derive_seed(7, "cell", 3) != derive_seed(8, "cell", 3)
+        assert derive_seed(7, "cell", 3) != derive_seed(7, "cell", 4)
+
+    def test_is_64_bit(self):
+        for tags in [(), ("a",), ("a", 1, 2.5)]:
+            assert 0 <= derive_seed(0, *tags) < 2 ** 64
+
+    def test_matches_blake2b_of_token(self):
+        """The documented token format is the contract: string tags go
+        in verbatim, everything else contributes its repr."""
+        token = b"7:site:(1, 2)"
+        expected = int.from_bytes(
+            hashlib.blake2b(token, digest_size=8).digest(), "big")
+        assert derive_seed(7, "site", (1, 2)) == expected
+
+
+class TestUniformFromTags:
+    def test_range_and_determinism(self):
+        values = [uniform_from_tags(3, "x", k) for k in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == [uniform_from_tags(3, "x", k) for k in range(100)]
+
+    def test_roughly_uniform(self):
+        values = np.array([uniform_from_tags(0, "u", k)
+                           for k in range(2000)])
+        assert 0.45 < values.mean() < 0.55
+        assert abs(np.std(values) - np.sqrt(1 / 12)) < 0.02
+
+    def test_fault_plan_bit_compat(self):
+        """FaultPlan.decide predates this module; its historical token
+        ``"{seed}:{site}:{key!r}:{attempt}"`` must keep hashing to the
+        same decisions (checkpointed runs replay fault schedules)."""
+        from repro.testing.faults import FaultPlan
+
+        plan = FaultPlan(seed=42, crash_rate=0.3)
+        for key in (3, "cell-9", (1, 2), None):
+            token = f"42:worker:{key!r}:0".encode()
+            digest = hashlib.blake2b(token, digest_size=8).digest()
+            old = int.from_bytes(digest, "big") / 2.0 ** 64 < 0.3
+            assert plan.decide("worker", key, 0) == old
+
+
+class TestDeriveRng:
+    def test_no_tags_matches_default_rng(self):
+        a = derive_rng(20110314).random(5)
+        b = np.random.default_rng(20110314).random(5)
+        assert np.array_equal(a, b)
+
+    def test_tagged_streams_reproducible_and_independent(self):
+        a1 = derive_rng(7, "stationary").random(5)
+        a2 = derive_rng(7, "stationary").random(5)
+        b = derive_rng(7, "transient").random(5)
+        assert np.array_equal(a1, a2)
+        assert not np.array_equal(a1, b)
+
+
+class TestSpawn:
+    def test_spawn_seeds_are_seed_sequences(self):
+        children = spawn_seeds(5, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.SeedSequence) for c in children)
+
+    def test_spawn_rngs_independent_but_reproducible(self):
+        first = [g.random(4) for g in spawn_rngs(5, 3)]
+        second = [g.random(4) for g in spawn_rngs(5, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestNoBareGlobalRandomness:
+    def test_library_never_touches_np_random_module_state(self):
+        """The convention's enforcement half: no ``np.random.<draw>()``
+        module-level calls anywhere in the library source (generators
+        are always passed in or derived from explicit seeds)."""
+        import re
+        from pathlib import Path
+
+        import repro
+
+        src_root = Path(repro.__file__).parent
+        banned = re.compile(
+            r"np\.random\.(random|rand|randn|randint|uniform|normal|"
+            r"choice|shuffle|permutation|seed)\b")
+        offenders = []
+        for path in src_root.rglob("*.py"):
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if banned.search(line):
+                    offenders.append(f"{path}:{lineno}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

@@ -19,6 +19,8 @@ from repro.traps.band import (
 )
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 class TestSurfacePotential:
     def test_clamps_below_flatband(self):

@@ -12,6 +12,8 @@ from repro.errors import ModelError
 from repro.traps.propensity import rates_for_population, rates_from_bias
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 
 class TestPopulationRates:
     def test_empty_population(self):

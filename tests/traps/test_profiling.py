@@ -14,6 +14,8 @@ from repro.traps.band import crossing_energy
 from repro.traps.profiling import TrapProfiler
 from repro.traps.propensity import propensity_sum
 
+pytestmark = pytest.mark.tier1
+
 
 class TestValidation:
     def test_rejects_bad_margin(self):

@@ -21,6 +21,8 @@ from repro.traps.propensity import (
 )
 from repro.traps.trap import Trap
 
+pytestmark = pytest.mark.tier1
+
 depths = st.floats(min_value=0.1e-9, max_value=2.0e-9)
 energies = st.floats(min_value=0.0, max_value=2.5)
 biases = st.floats(min_value=0.0, max_value=1.2)
