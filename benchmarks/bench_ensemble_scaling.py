@@ -8,13 +8,25 @@ of per-trap :func:`repro.markov.uniformization.simulate_trap` calls by
 constant-sum fast path — the case the ensemble engine always hits — is
 what gets measured.
 
+The engine acceptance claim rides along on a second axis: the
+``shared`` execution backend must beat the ``process`` backend **>= 2x**
+on transport-bound fan-out (every job reading one large shared array,
+which the arena interns once where the process pool re-pickles it per
+job).  The backend axis writes ``out/BENCH_engine.json``; CI replays it
+with ``--quick`` and gates the dimensionless speedups against the
+committed ``benchmarks/BENCH_engine.json`` baseline via
+``scripts/check_bench.py``.
+
 Timing is warm best-of-N: the first call pays one-off costs (imports,
 allocator warm-up) that say nothing about throughput, so each
 measurement discards a warm-up round and keeps the minimum of three.
+The backend axis is the exception — pool spin-up *is* part of what a
+backend costs, so each backend gets one cold timed run.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 import numpy as np
@@ -99,3 +111,126 @@ def test_batch_kernel_speedup_scaling(benchmark, out_dir):
     batch = _population(1000, rng_factory(1000))
     benchmark(lambda: simulate_traps_batch(
         batch, 0.0, T_STOP, np.random.default_rng(1)))
+
+
+# ----------------------------------------------------------------------
+# Execution-backend axis (engine acceptance + CI perf-regression gate)
+# ----------------------------------------------------------------------
+
+#: Every job reads a window of this one array — the workload where the
+#: shared arena's intern-once transport shows up undiluted by physics.
+TRANSPORT_GRID_LEN = 1_000_000  # 8 MB of float64
+
+TRANSPORT_SPEEDUP_FLOOR = 2.0
+QUICK_TRANSPORT_SPEEDUP_FLOOR = 1.5
+
+
+def _window_sum(payload):
+    grid, lo, hi = payload
+    return float(grid[lo:hi].sum())
+
+
+def _time_backend_jobs(name: str, jobs, workers: int) -> float:
+    from repro.core.engine import get_backend
+    from repro.core.resilience import RetryPolicy
+
+    t0 = time.perf_counter()
+    results = get_backend(name).run(
+        _window_sum, jobs, keys=list(range(len(jobs))), workers=workers,
+        policy=RetryPolicy())
+    elapsed = time.perf_counter() - t0
+    assert all(r.status == "ok" for r in results)
+    return elapsed
+
+
+def _time_backend_ensemble(name: str, cells: int, workers: int) -> float:
+    from repro.core.ensemble import EnsembleConfig, EnsembleRunner
+    from repro.core.experiments import fig8_cell_spec, fig8_pattern
+
+    config = EnsembleConfig(
+        n_cells=cells, spec=fig8_cell_spec(),
+        pattern=fig8_pattern(bits=(1,)), rtn_scale=30.0,
+        workers=workers, backend=name)
+    t0 = time.perf_counter()
+    result = EnsembleRunner(config).run(np.random.default_rng(20110314))
+    elapsed = time.perf_counter() - t0
+    assert all(o.status in ("ok", "recovered") for o in result.outcomes)
+    return elapsed
+
+
+def test_execution_backend_axis(benchmark, out_dir, quick):
+    """Shared vs process backend: transport fan-out + full ensemble."""
+    n_jobs, workers = (64, 4) if quick else (256, 8)
+    cells, cell_workers = (16, 4) if quick else (256, 8)
+
+    grid = np.random.default_rng(20110314).random(TRANSPORT_GRID_LEN)
+    window = TRANSPORT_GRID_LEN // n_jobs
+    jobs = [(grid, i * window, (i + 1) * window) for i in range(n_jobs)]
+    transport = {name: _time_backend_jobs(name, jobs, workers)
+                 for name in ("process", "shared")}
+    transport_speedup = transport["process"] / transport["shared"]
+
+    ensemble = {name: _time_backend_ensemble(name, cells, cell_workers)
+                for name in ("serial", "process", "shared")}
+    ensemble_speedup = ensemble["process"] / ensemble["shared"]
+
+    rows = [
+        ["transport/process", n_jobs, workers,
+         f"{transport['process']:.2f}", ""],
+        ["transport/shared", n_jobs, workers,
+         f"{transport['shared']:.2f}", f"{transport_speedup:.1f}x"],
+        ["ensemble/serial", cells, 1, f"{ensemble['serial']:.2f}", ""],
+        ["ensemble/process", cells, cell_workers,
+         f"{ensemble['process']:.2f}", ""],
+        ["ensemble/shared", cells, cell_workers,
+         f"{ensemble['shared']:.2f}", f"{ensemble_speedup:.1f}x"],
+    ]
+    print()
+    print(format_table(
+        ["workload/backend", "jobs", "workers", "wall [s]",
+         "shared speedup"], rows,
+        title="Execution backends (%s inputs)"
+              % ("quick" if quick else "full")))
+    write_csv(f"{out_dir}/engine_backends.csv",
+              ["workload", "backend", "jobs", "workers", "wall_s"],
+              [("transport", name, n_jobs, workers, wall)
+               for name, wall in transport.items()]
+              + [("ensemble", name, cells,
+                  1 if name == "serial" else cell_workers, wall)
+                 for name, wall in ensemble.items()])
+
+    report = {
+        "schema": "repro.bench_engine/1",
+        "mode": "quick" if quick else "full",
+        "transport": {
+            "n_jobs": n_jobs, "workers": workers,
+            "payload_mb": grid.nbytes / 2.0**20,
+            "process_s": transport["process"],
+            "shared_s": transport["shared"],
+            "speedup": transport_speedup,
+        },
+        "ensemble": {
+            "cells": cells, "workers": cell_workers,
+            "serial_s": ensemble["serial"],
+            "process_s": ensemble["process"],
+            "shared_s": ensemble["shared"],
+            "speedup": ensemble_speedup,
+        },
+    }
+    with open(f"{out_dir}/BENCH_engine.json", "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # The engine acceptance claim: zero-copy transport pays >= 2x where
+    # payload movement dominates (relaxed under --quick's small fan-out,
+    # where pool spin-up eats a larger slice of the wall clock).
+    floor = QUICK_TRANSPORT_SPEEDUP_FLOOR if quick \
+        else TRANSPORT_SPEEDUP_FLOOR
+    assert transport_speedup >= floor, (
+        f"shared backend only {transport_speedup:.2f}x faster than the "
+        f"process backend on transport-bound jobs (floor {floor:g}x)")
+
+    # Representative dispatch through pytest-benchmark: one small shared
+    # fan-out, pool spin-up included.
+    small = jobs[:8]
+    benchmark(lambda: _time_backend_jobs("shared", small, 2))

@@ -16,6 +16,19 @@ import pytest
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="CI-sized benchmark inputs: seconds instead of minutes, "
+             "same dimensionless speedup metrics")
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """True when the run should use CI-sized (``--quick``) inputs."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(20110314)

@@ -33,6 +33,11 @@ Array-scale Monte-Carlo
 Resilience (fault-tolerant execution)
     :class:`RetryPolicy`, :class:`JobResult`, :func:`run_jobs`,
     :class:`RunCheckpoint`, :func:`inject_faults`
+Execution engine (pluggable backends, see ``docs/performance.md``)
+    :class:`ExecutionBackend`, :class:`SharedMemoryBackend`,
+    :func:`get_backend`, :func:`available_backends`,
+    :func:`register_backend`, :class:`PropensityTableCache`,
+    :func:`propensity_cache`
 Observability (tracing / metrics / telemetry)
     :class:`Tracer`, :class:`Metrics`, :func:`enable_tracing`,
     :func:`profiled`, :class:`RunTelemetry`, :func:`load_telemetry`,
@@ -90,6 +95,14 @@ _EXPORTS = {
     "run_jobs": "repro.core.resilience:run_jobs",
     "RunCheckpoint": "repro.core.resilience:RunCheckpoint",
     "inject_faults": "repro.testing.faults:inject_faults",
+    # Execution engine.
+    "ExecutionBackend": "repro.core.engine:ExecutionBackend",
+    "SharedMemoryBackend": "repro.core.engine:SharedMemoryBackend",
+    "get_backend": "repro.core.engine:get_backend",
+    "available_backends": "repro.core.engine:available_backends",
+    "register_backend": "repro.core.engine:register_backend",
+    "PropensityTableCache": "repro.core.engine:PropensityTableCache",
+    "propensity_cache": "repro.core.engine:propensity_cache",
     # Observability.
     "Tracer": "repro.obs.tracer:Tracer",
     "Metrics": "repro.obs.metrics:Metrics",

@@ -73,7 +73,7 @@ def _cmd_ensemble(args) -> int:
         n_cells=args.cells, spec=spec, pattern=fig8_pattern(),
         rtn_scale=args.scale, screen_threshold=args.threshold,
         max_verified_cells=args.verify, workers=args.workers,
-        margin_samples=args.margins, retry=retry,
+        backend=args.backend, margin_samples=args.margins, retry=retry,
         checkpoint_dir=checkpoint_dir, resume=bool(args.resume))
     rng = np.random.default_rng(args.seed)
     runner = EnsembleRunner(config)
@@ -277,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "flagged for SPICE verification")
     ensemble.add_argument("--verify", type=int, default=4,
                           help="max flagged cells to verify with SPICE")
+    ensemble.add_argument("--backend", default=None,
+                          choices=("serial", "process", "shared"),
+                          help="verification execution backend (default: "
+                               "process pool when --workers > 1, else "
+                               "serial; 'shared' runs a persistent pool "
+                               "over a shared-memory payload arena)")
     ensemble.add_argument("--workers", type=int, default=None,
                           help="processes for the verification passes")
     ensemble.add_argument("--margins", type=int, default=0,

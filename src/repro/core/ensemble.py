@@ -95,6 +95,23 @@ class EnsembleConfig:
     workers:
         Process count for sharding the verification passes; ``None`` or
         1 stays serial.
+    backend:
+        Execution backend for the verification jobs: ``"serial"``,
+        ``"process"``, ``"shared"`` (persistent workers over one
+        shared-memory payload arena — see :mod:`repro.core.engine`),
+        or ``None`` for the historical auto choice (process pool when
+        ``workers > 1``, else serial).
+    cache_tables:
+        Memoise compiled trap-population propensity tables in the
+        process-wide :func:`~repro.core.engine.propensity_cache`, so
+        identical populations across a sweep (same technology card,
+        same seed) skip the surface-potential solve.
+    keep_traces:
+        Keep the synthesised per-cell RTN traces on the result
+        (``result.traces[cell][transistor]``) — off by default because
+        an array-scale run's traces dwarf the statistics they feed.
+        The backend-invariance tests use this to assert bit-identical
+        traces across execution backends.
     margin_samples:
         How many cells also get a per-cell hold-SNM solve (0 disables).
     methodology:
@@ -122,6 +139,9 @@ class EnsembleConfig:
     screen_threshold: float = 0.02
     max_verified_cells: int | None = None
     workers: int | None = None
+    backend: str | None = None
+    cache_tables: bool = True
+    keep_traces: bool = False
     margin_samples: int = 0
     methodology: MethodologyConfig = field(default_factory=MethodologyConfig)
     retry: RetryPolicy | None = None
@@ -145,6 +165,13 @@ class EnsembleConfig:
             raise ValueError("checkpoint_every must be >= 1")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume requires checkpoint_dir")
+        if isinstance(self.backend, str):
+            from .engine import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; available: "
+                    f"{', '.join(available_backends())}")
 
     def fingerprint(self) -> dict:
         """Identity of a run for checkpoint compatibility checks."""
@@ -249,6 +276,13 @@ class EnsembleResult:
     metrics_snapshot:
         :meth:`repro.obs.metrics.Metrics.snapshot` taken at the end of
         the run ({} when observability was disabled).
+    backend:
+        Name of the execution backend that ran the verification pass
+        (``serial`` / ``process`` / ``shared``).
+    traces:
+        Per-cell RTN traces (``traces[cell][transistor]``), populated
+        only when :attr:`EnsembleConfig.keep_traces` is on; empty
+        otherwise.
     """
 
     outcomes: list = field(default_factory=list)
@@ -259,6 +293,8 @@ class EnsembleResult:
     kernel_fallbacks: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
     metrics_snapshot: dict = field(default_factory=dict)
+    backend: str = ""
+    traces: list = field(default_factory=list)
 
     @property
     def n_cells(self) -> int:
@@ -350,6 +386,7 @@ class EnsembleResult:
         return RunTelemetry(
             n_cells=self.n_cells,
             n_slots=self.n_slots,
+            backend=self.backend,
             counts=counts,
             complete=self.complete,
             flagged=self.flagged_cells,
@@ -572,8 +609,14 @@ class EnsembleRunner:
             peak_i = record.peak_current()
             if not flat_traps or peak_i <= 0.0:
                 continue
-            batch = population_propensity(flat_traps, tech, record.times,
-                                          record.v_drive)
+            if config.cache_tables:
+                from .engine import propensity_cache
+
+                batch = propensity_cache().population(
+                    flat_traps, tech, record.times, record.v_drive)
+            else:
+                batch = population_propensity(flat_traps, tech,
+                                              record.times, record.v_drive)
             filled_p = equilibrium_occupancy_population(
                 float(record.v_drive[0]), flat_traps, tech)
             init = (rng.random(len(flat_traps)) < filled_p).astype(np.int8)
@@ -661,18 +704,27 @@ class EnsembleRunner:
                     completed_since_save = 0
 
         run_jobs(_verify_cell, jobs, keys=pending, workers=config.workers,
-                 policy=config.retry or RetryPolicy(), on_result=on_result)
+                 policy=config.retry or RetryPolicy(), on_result=on_result,
+                 backend=config.backend)
         if checkpoint is not None:
             checkpoint.save(config.fingerprint())
         phase_started = _phase_done("verification", phase_started)
 
         # Step 5: margins.
+        if config.backend is not None:
+            backend_name = str(getattr(config.backend, "name",
+                                       config.backend))
+        else:
+            backend_name = "process" if (config.workers or 0) > 1 \
+                else "serial"
         nominal_snm = static_noise_margin(spec, mode="hold")
         result = EnsembleResult(n_slots=len(pattern.operations),
                                 nominal_snm_hold=nominal_snm,
                                 clean_failures=clean_failures,
                                 kernel_stats=kernel_stats,
-                                kernel_fallbacks=kernel_fallbacks)
+                                kernel_fallbacks=kernel_fallbacks,
+                                backend=backend_name,
+                                traces=traces if config.keep_traces else [])
         for index in range(config.n_cells):
             record = verdicts.get(index, {})
             status = record.get("status", "ok")

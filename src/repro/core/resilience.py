@@ -198,7 +198,8 @@ def _finish(result: JobResult, error: BaseException | None,
 
 def run_jobs(fn: Callable, jobs, *, keys=None, workers: int | None = None,
              policy: RetryPolicy | None = None,
-             on_result: Callable | None = None) -> list:
+             on_result: Callable | None = None,
+             backend=None) -> list:
     """Run ``fn(job)`` over every job, surviving worker failures.
 
     Parameters
@@ -219,6 +220,12 @@ def run_jobs(fn: Callable, jobs, *, keys=None, workers: int | None = None,
         Callback invoked with each :class:`JobResult` as it reaches a
         terminal status, in completion order — the ensemble's
         incremental checkpoint hook.
+    backend:
+        Execution backend — a name (``serial`` / ``process`` /
+        ``shared``), an :class:`~repro.core.engine.ExecutionBackend`
+        class or instance, or ``None`` for the historical behaviour
+        (``process`` when ``workers > 1``, else ``serial``).  See
+        :mod:`repro.core.engine` and ``docs/performance.md``.
 
     Returns
     -------
@@ -230,6 +237,13 @@ def run_jobs(fn: Callable, jobs, *, keys=None, workers: int | None = None,
     if len(keys) != len(jobs):
         raise ValueError("keys must match jobs one-to-one")
     policy = policy or RetryPolicy()
+    if backend is not None:
+        # Lazy import: engine builds on this module's primitives.
+        from .engine import get_backend
+
+        return get_backend(backend).run(fn, jobs, keys=keys,
+                                        workers=workers, policy=policy,
+                                        on_result=on_result)
     if not jobs:
         return []
     if workers and workers > 1:

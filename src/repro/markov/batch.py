@@ -156,6 +156,28 @@ class BatchPropensity:
             object.__setattr__(self, "_sum_cache", cached)
         return cached
 
+    def digest(self) -> str:
+        """Content digest of the compiled table (cached, hex BLAKE2b).
+
+        Two batches with equal grids and equal rate samples share one
+        digest, so it serves as an identity for table-level caching
+        (:class:`~repro.core.engine.PropensityTableCache`) and for
+        asserting bit-identical tables across execution backends.
+        """
+        cached = getattr(self, "_digest_cache", None)
+        if cached is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.times.size).tobytes())
+            h.update(np.int64(self.capture.shape[0]).tobytes())
+            h.update(np.ascontiguousarray(self.times).tobytes())
+            h.update(np.ascontiguousarray(self.capture).tobytes())
+            h.update(np.ascontiguousarray(self.emission).tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
+
     def single(self, index: int) -> SampledTwoStatePropensity:
         """Extract trap ``index`` as a scalar-kernel propensity object."""
         return SampledTwoStatePropensity(

@@ -33,6 +33,9 @@ class RunTelemetry:
         Format version tag (``repro.telemetry/1``).
     n_cells, n_slots:
         Ensemble size and pattern slots per cell.
+    backend:
+        Execution backend of the verification pass (``serial`` /
+        ``process`` / ``shared``; empty for pre-engine documents).
     counts:
         Resilience status -> cell count (``ok/recovered/failed/timeout``).
     complete:
@@ -59,6 +62,7 @@ class RunTelemetry:
     schema: str = TELEMETRY_SCHEMA
     n_cells: int = 0
     n_slots: int = 0
+    backend: str = ""
     counts: dict = field(default_factory=dict)
     complete: bool = True
     flagged: int = 0
@@ -131,11 +135,12 @@ def telemetry_report(source) -> str:
 
     rows = [[status, count] for status, count in data.counts.items()]
     rows.append(["complete", "yes" if data.complete else "NO"])
+    backend = f", backend {data.backend}" if data.backend else ""
     sections.append(format_table(
         ["status", "cells"], rows,
         title=f"Run telemetry ({data.n_cells} cells, {data.traps} traps, "
               f"flagged {data.flagged}, verified {data.verified}, "
-              f"failing {data.failing})"))
+              f"failing {data.failing}{backend})"))
 
     if data.kernel:
         rows = [[name,

@@ -21,6 +21,11 @@ The ensemble engine and the fault-tolerant executor expose a handful of
     Report a fault at RTN-trace synthesis so the affected cell's current
     samples are corrupted to NaN (exercises the non-finite guard in
     :class:`~repro.rtn.trace.RTNTrace`).
+``arena``
+    Raise a :class:`~repro.errors.SimulationError` in a shared-memory
+    worker just before it decodes a job payload from the arena (models
+    a corrupted payload descriptor; exercises the shared backend's
+    retry path without touching the job function).
 
 Decisions are *deterministic*: each is a hash of
 ``(seed, site, key, attempt)``, so a given cell faults (or not)
@@ -50,7 +55,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-from ..errors import ConvergenceError, WorkerCrashError
+from ..errors import ConvergenceError, SimulationError, WorkerCrashError
 from .seeding import uniform_from_tags
 
 __all__ = [
@@ -87,6 +92,9 @@ class FaultPlan:
         Probability a ``nan`` site corrupts a cell's RTN currents.
     batch_rate:
         Probability a ``batch`` site fails the batched trap kernel.
+    arena_rate:
+        Probability an ``arena`` site fails a shared-memory payload
+        decode.
     acceptance_bias:
         Additive perturbation of the batched kernel's fill-acceptance
         probability (an off-by-epsilon *physics* bug, not a crash).
@@ -104,6 +112,7 @@ class FaultPlan:
     hang_seconds: float = 30.0
     nan_rate: float = 0.0
     batch_rate: float = 0.0
+    arena_rate: float = 0.0
     acceptance_bias: float = 0.0
 
     def rate_for(self, site: str) -> float:
@@ -113,6 +122,7 @@ class FaultPlan:
             "hang": self.hang_rate,
             "nan": self.nan_rate,
             "batch": self.batch_rate,
+            "arena": self.arena_rate,
         }.get(site, 0.0)
 
     def decide(self, site: str, key: object, attempt: int = 0) -> bool:
@@ -176,6 +186,10 @@ def fire(site: str, key: object, attempt: int = 0) -> None:
             f"injected worker crash (job {key!r}, attempt {attempt})")
     if site == "hang":
         time.sleep(plan.hang_seconds)
+    if site == "arena":
+        raise SimulationError(
+            f"injected arena decode failure (job {key!r}, "
+            f"attempt {attempt})")
 
 
 @contextmanager

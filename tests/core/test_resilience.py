@@ -9,8 +9,12 @@ with deterministic injected faults.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 import repro.core.ensemble as ensemble_module
 from repro.core.ensemble import EnsembleConfig, EnsembleRunner
@@ -345,6 +349,125 @@ class TestCheckpointResume:
         for index in straight_done:
             assert (straight.outcomes[index].rtn_failures
                     == resumed.outcomes[index].rtn_failures)
+
+
+class _KilledMidRun(BaseException):
+    """Stands in for SIGKILL: aborts the parent between checkpoint saves.
+
+    A ``BaseException`` raised from the checkpoint hook lands exactly
+    where a real kill would — after some atomic manifest writes, before
+    the rest — without taking the test interpreter with it.
+    """
+
+
+class TestSharedBackendKillResume:
+    """Checkpoint -> kill -> resume on the shared-memory backend.
+
+    Property: for any kill point and any deterministic fault plan, a
+    killed-then-resumed run must reproduce the uninterrupted run's
+    ``RunTelemetry`` cell statuses and RTN traces exactly.  The RTN
+    traces double as an rng-alignment oracle: the resumed run re-draws
+    mismatch and trap populations from the same seed, so any stream
+    divergence shows up as a bit difference.
+    """
+
+    @staticmethod
+    def _config(**overrides):
+        base = dict(n_cells=5, spec=SPEC, pattern=fig8_pattern(bits=(1,)),
+                    rtn_scale=30.0, workers=2, backend="shared",
+                    keep_traces=True, checkpoint_every=1)
+        base.update(overrides)
+        return EnsembleConfig(**base)
+
+    @staticmethod
+    @contextmanager
+    def _kill_after(saves: int):
+        real = ensemble_module.RunCheckpoint
+        state = {"left": saves}
+
+        class Killing(real):
+            def save(self, fingerprint=None):
+                if state["left"] <= 0:
+                    raise _KilledMidRun()
+                state["left"] -= 1
+                super().save(fingerprint)
+
+        ensemble_module.RunCheckpoint = Killing
+        try:
+            yield
+        finally:
+            ensemble_module.RunCheckpoint = real
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kill_after=st.integers(min_value=1, max_value=4),
+           fault_seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_kill_resume_matches_uninterrupted(self, kill_after,
+                                               fault_seed):
+        import tempfile
+
+        def telemetry_key(result):
+            return [(c["index"], c["status"], c["attempts"],
+                     c["rtn_failures"]) for c in result.telemetry.cells]
+
+        faults = dict(convergence_rate=0.3, seed=fault_seed)
+        with inject_faults(**faults):
+            reference = EnsembleRunner(self._config(
+                checkpoint_every=8)).run(np.random.default_rng(11))
+
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = f"{tmp}/run"
+            with self._kill_after(kill_after), inject_faults(**faults):
+                try:
+                    EnsembleRunner(self._config(
+                        checkpoint_dir=directory)).run(
+                        np.random.default_rng(11))
+                except _KilledMidRun:
+                    pass  # killed mid-verification, checkpoint persists
+            with inject_faults(**faults):
+                resumed = EnsembleRunner(self._config(
+                    checkpoint_dir=directory, resume=True)).run(
+                    np.random.default_rng(11))
+
+        assert telemetry_key(resumed) == telemetry_key(reference)
+        assert resumed.telemetry.backend == "shared"
+        for cell, ref_cell in zip(resumed.traces, reference.traces):
+            assert sorted(cell) == sorted(ref_cell)
+            for name, trace in cell.items():
+                np.testing.assert_array_equal(trace.current,
+                                              ref_cell[name].current)
+
+    def test_crash_sites_span_the_kill(self, tmp_path):
+        """Worker crash sites fire inside shared workers on both sides
+        of the kill; the resumed run must still complete every cell and
+        agree with the uninterrupted run on the successful verdicts."""
+        faults = dict(crash_rate=0.25, seed=7)
+        retry = RetryPolicy(attempts=8)
+        with inject_faults(**faults):
+            reference = EnsembleRunner(self._config(
+                retry=retry, checkpoint_every=8)).run(
+                np.random.default_rng(11))
+
+        directory = tmp_path / "run"
+        with self._kill_after(2), inject_faults(**faults):
+            with pytest.raises(_KilledMidRun):
+                EnsembleRunner(self._config(
+                    retry=retry, checkpoint_dir=directory)).run(
+                    np.random.default_rng(11))
+        with inject_faults(**faults):
+            resumed = EnsembleRunner(self._config(
+                retry=retry, checkpoint_dir=directory, resume=True)).run(
+                np.random.default_rng(11))
+
+        assert resumed.n_cells == reference.n_cells
+        succeeded = {o.index for o in resumed.outcomes if o.verified}
+        assert succeeded == {o.index for o in reference.outcomes
+                             if o.verified}
+        for index in succeeded:
+            assert (resumed.outcomes[index].rtn_failures
+                    == reference.outcomes[index].rtn_failures)
+            assert (resumed.outcomes[index].error_slots
+                    == reference.outcomes[index].error_slots)
 
 
 class TestAcceptance:
