@@ -158,10 +158,32 @@ def _time_backend_ensemble(name: str, cells: int, workers: int) -> float:
     return elapsed
 
 
+def _time_backend_dram(name: str, trials: int, workers: int) -> float:
+    """One dram.retention scenario run on ``name`` (cold, spin-up in)."""
+    from repro.core.scenario import run_scenario
+    from repro.dram.cell import (
+        RetentionScanConfig,
+        default_vrt_cell,
+        vrt_levels,
+    )
+
+    spec, trap = default_vrt_cell()
+    slow, _ = vrt_levels(spec)
+    config = RetentionScanConfig(spec=spec, trap=trap, n_trials=trials,
+                                 t_max=3.0 * slow)
+    t0 = time.perf_counter()
+    run = run_scenario("dram.retention", config, seed=20110314,
+                       backend=name, workers=workers)
+    elapsed = time.perf_counter() - t0
+    assert run.complete and len(run.value) == trials
+    return elapsed
+
+
 def test_execution_backend_axis(benchmark, out_dir, quick):
-    """Shared vs process backend: transport fan-out + full ensemble."""
+    """Shared vs process backend: transport, ensemble + DRAM-VRT scan."""
     n_jobs, workers = (64, 4) if quick else (256, 8)
     cells, cell_workers = (16, 4) if quick else (256, 8)
+    trials, trial_workers = (16, 4) if quick else (128, 8)
 
     grid = np.random.default_rng(20110314).random(TRANSPORT_GRID_LEN)
     window = TRANSPORT_GRID_LEN // n_jobs
@@ -174,6 +196,13 @@ def test_execution_backend_axis(benchmark, out_dir, quick):
                 for name in ("serial", "process", "shared")}
     ensemble_speedup = ensemble["process"] / ensemble["shared"]
 
+    # A scenario-layer workload on the same axis: the dram.retention
+    # scan is ODE-bound with tiny payloads, the opposite corner of the
+    # workload space from the transport fan-out above.
+    dram = {name: _time_backend_dram(name, trials, trial_workers)
+            for name in ("serial", "process", "shared")}
+    dram_speedup = dram["process"] / dram["shared"]
+
     rows = [
         ["transport/process", n_jobs, workers,
          f"{transport['process']:.2f}", ""],
@@ -184,6 +213,11 @@ def test_execution_backend_axis(benchmark, out_dir, quick):
          f"{ensemble['process']:.2f}", ""],
         ["ensemble/shared", cells, cell_workers,
          f"{ensemble['shared']:.2f}", f"{ensemble_speedup:.1f}x"],
+        ["dram_vrt/serial", trials, 1, f"{dram['serial']:.2f}", ""],
+        ["dram_vrt/process", trials, trial_workers,
+         f"{dram['process']:.2f}", ""],
+        ["dram_vrt/shared", trials, trial_workers,
+         f"{dram['shared']:.2f}", f"{dram_speedup:.1f}x"],
     ]
     print()
     print(format_table(
@@ -197,7 +231,10 @@ def test_execution_backend_axis(benchmark, out_dir, quick):
                for name, wall in transport.items()]
               + [("ensemble", name, cells,
                   1 if name == "serial" else cell_workers, wall)
-                 for name, wall in ensemble.items()])
+                 for name, wall in ensemble.items()]
+              + [("dram_vrt", name, trials,
+                  1 if name == "serial" else trial_workers, wall)
+                 for name, wall in dram.items()])
 
     report = {
         "schema": "repro.bench_engine/1",
@@ -215,6 +252,16 @@ def test_execution_backend_axis(benchmark, out_dir, quick):
             "process_s": ensemble["process"],
             "shared_s": ensemble["shared"],
             "speedup": ensemble_speedup,
+        },
+        # Reported for trend-watching, not gated: the scan is ODE-bound
+        # with tiny payloads, so shared-vs-process is near parity and a
+        # ratio gate would only encode pool-spin-up noise.
+        "dram_vrt": {
+            "trials": trials, "workers": trial_workers,
+            "serial_s": dram["serial"],
+            "process_s": dram["process"],
+            "shared_s": dram["shared"],
+            "speedup": dram_speedup,
         },
     }
     with open(f"{out_dir}/BENCH_engine.json", "w", encoding="utf-8") as fh:

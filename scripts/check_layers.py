@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Lint: parallel dispatch belongs to ``repro.core``, nowhere else.
+
+Usage::
+
+    python scripts/check_layers.py [SRC_DIR]
+
+The scenario layer only pays off if it stays the *single* road to
+parallel execution: a domain module that quietly opens its own
+``multiprocessing`` pool or ``concurrent.futures`` executor bypasses
+the backends, the retry/timeout resilience, checkpoint/resume, fault
+injection and observability that :mod:`repro.core.scenario` and
+:mod:`repro.core.engine` provide — and its results stop being
+backend-invariant.  This script fails the build when any module under
+``src/repro/`` outside ``repro.core`` imports ``multiprocessing`` or
+``concurrent.futures`` (including ``from multiprocessing import ...``
+and function-local imports).
+
+The check is syntactic (AST, no imports), so it cannot be fooled by
+import-time side effects and needs no dependencies.
+
+Exemptions are explicit and carry their rationale:
+
+- ``testing/faults.py`` — the ``worker`` fault site needs
+  ``multiprocessing.parent_process()`` to decide whether killing the
+  hosting process is survivable; it dispatches nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Module prefixes whose import marks a layering violation.
+BANNED = ("multiprocessing", "concurrent.futures")
+
+#: Directory (relative to the package root) allowed to use them.
+CORE = "core"
+
+#: path (relative to src/repro) -> why it may touch a banned module.
+EXEMPT = {
+    "testing/faults.py":
+        "worker fault site probes multiprocessing.parent_process() only",
+}
+
+
+def _banned(module: str | None) -> str | None:
+    if module is None:
+        return None
+    for prefix in BANNED:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    # `from concurrent import futures` smuggles in the same executor.
+    if module == "concurrent":
+        return "concurrent.futures"
+    return None
+
+
+def banned_imports(path: Path) -> list:
+    """(line, module) pairs of banned imports anywhere in the file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                prefix = _banned(alias.name)
+                if prefix:
+                    hits.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "concurrent" and any(
+                    alias.name == "futures" for alias in node.names):
+                hits.append((node.lineno, "concurrent.futures"))
+            elif _banned(node.module):
+                hits.append((node.lineno, node.module))
+    return hits
+
+
+def main(argv: list) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent \
+        / "src" / "repro"
+    files = sorted(root.rglob("*.py"))
+    if not files:
+        print(f"{root}: no source files found", file=sys.stderr)
+        return 2
+    violations = []
+    checked = exempt = 0
+    for path in files:
+        relative = path.relative_to(root).as_posix()
+        if relative == f"{CORE}" or relative.startswith(f"{CORE}/"):
+            continue
+        if relative in EXEMPT:
+            exempt += 1
+            continue
+        checked += 1
+        for line, module in banned_imports(path):
+            violations.append((path, line, module))
+    for path, line, module in violations:
+        print(f"{path}:{line}: imports {module} outside repro.core — "
+              "route the work through repro.core.scenario / "
+              "repro.core.engine instead", file=sys.stderr)
+    print(f"{checked} modules checked outside repro.core "
+          f"({exempt} exempt): {len(violations)} layering violations")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

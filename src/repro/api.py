@@ -30,6 +30,10 @@ Array-scale Monte-Carlo
     :class:`EnsembleRunner`, :class:`EnsembleConfig`,
     :class:`EnsembleResult`, :func:`simulate_array`,
     :func:`simulate_array_fast`
+Scenarios (declarative workloads over the engine)
+    :class:`Scenario`, :class:`ScenarioRun`, :func:`run_scenario`,
+    :func:`register_scenario`, :func:`get_scenario`,
+    :func:`available_scenarios` — see ``docs/architecture.md``
 Resilience (fault-tolerant execution)
     :class:`RetryPolicy`, :class:`JobResult`, :func:`run_jobs`,
     :class:`RunCheckpoint`, :func:`inject_faults`
@@ -89,6 +93,13 @@ _EXPORTS = {
     "EnsembleResult": "repro.core.ensemble:EnsembleResult",
     "simulate_array": "repro.sram.array:simulate_array",
     "simulate_array_fast": "repro.sram.array:simulate_array_fast",
+    # Scenarios.
+    "Scenario": "repro.core.scenario:Scenario",
+    "ScenarioRun": "repro.core.scenario:ScenarioRun",
+    "run_scenario": "repro.core.scenario:run_scenario",
+    "register_scenario": "repro.core.scenario:register_scenario",
+    "get_scenario": "repro.core.scenario:get_scenario",
+    "available_scenarios": "repro.core.scenario:available_scenarios",
     # Resilience.
     "RetryPolicy": "repro.core.resilience:RetryPolicy",
     "JobResult": "repro.core.resilience:JobResult",

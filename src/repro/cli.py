@@ -7,6 +7,8 @@ Small, scriptable entry points over the library's main flows:
 - ``ensemble`` — batched array-scale Monte-Carlo write-error prediction
   (``--trace-out``/``--metrics-out``/``--profile`` export observability);
 - ``report`` — render a telemetry or Chrome-trace JSON as tables;
+- ``scenario`` — list the registered workload scenarios or run one on a
+  chosen execution backend (``scenario list`` / ``scenario run``);
 - ``snm`` — static noise margins of a cell;
 - ``traps`` — sample and summarise a device's trap population;
 - ``retention`` — DRAM VRT retention scan;
@@ -203,16 +205,53 @@ def _cmd_traps(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from .core.scenario import available_scenarios, get_scenario, run_scenario
+
+    if args.action == "list":
+        rows = []
+        for name in available_scenarios():
+            entry = get_scenario(name)
+            try:
+                entry.default_config()
+                standalone = "yes"
+            except NotImplementedError:
+                standalone = "internal"
+            rows.append([name, standalone, entry.description])
+        print(format_table(["scenario", "standalone", "description"], rows,
+                           title="Registered scenarios"))
+        return 0
+
+    entry = get_scenario(args.name)
+    try:
+        config = entry.default_config(args.n)
+    except NotImplementedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    checkpoint_dir = args.resume if args.resume else args.checkpoint_dir
+    run = run_scenario(entry, config, seed=args.seed,
+                       backend=args.backend, workers=args.workers,
+                       checkpoint_dir=checkpoint_dir,
+                       resume=bool(args.resume))
+    counts = run.counts
+    rows = [[status, count] for status, count in counts.items()]
+    rows.append(["resumed", len(run.resumed)])
+    print(format_table(
+        ["status", "jobs"], rows,
+        title=f"Scenario {run.scenario} ({run.n_jobs} jobs, "
+              f"backend {run.backend}, seed {run.seed})"))
+    print(f"wall: {run.timings.get('total', 0.0):.2f} s "
+          f"(execute {run.timings.get('execute', 0.0):.2f} s)")
+    print(entry.format_value(config, run.value))
+    if checkpoint_dir:
+        print(f"checkpoint: {checkpoint_dir}")
+    return 0 if run.complete else 3
+
+
 def _cmd_retention(args) -> int:
-    from .dram.cell import DramCellSpec, retention_distribution, vrt_levels
-    from .traps.band import crossing_energy
-    from .traps.trap import Trap
-    spec = DramCellSpec(leakage_factor=args.factor)
+    from .dram.cell import default_vrt_cell, retention_distribution, vrt_levels
+    spec, trap = default_vrt_cell(args.factor)
     slow, fast = vrt_levels(spec)
-    tech = spec.technology
-    y = np.log(3.0 * slow / (2.0 * tech.tau0)) / tech.gamma_tunnel
-    y = min(y, 0.95 * tech.t_ox)
-    trap = Trap(y_tr=y, e_tr=crossing_energy(0.0, y, tech))
     rng = np.random.default_rng(args.seed)
     times = retention_distribution(spec, trap, rng, args.trials,
                                    t_max=3.0 * slow)
@@ -320,6 +359,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", help="a --metrics-out telemetry JSON or a "
                                      "--trace-out Chrome trace JSON")
 
+    scenario = sub.add_parser(
+        "scenario", help="list or run registered workload scenarios")
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+    scenario_sub.add_parser(
+        "list", help="list the registered scenarios")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario's demonstration configuration")
+    scenario_run.add_argument(
+        "name", help="registry name (see `repro scenario list`)")
+    scenario_run.add_argument("--n", type=int, default=None,
+                              help="job count / sweep size of the "
+                                   "demonstration configuration")
+    scenario_run.add_argument("--seed", type=int, default=0,
+                              help="root seed of the per-job RNG streams")
+    scenario_run.add_argument("--backend", default=None,
+                              choices=("serial", "process", "shared"),
+                              help="execution backend (default: process "
+                                   "when --workers > 1, else serial)")
+    scenario_run.add_argument("--workers", type=int, default=None,
+                              help="worker processes for the parallel "
+                                   "backends")
+    scenario_run.add_argument("--checkpoint-dir", default=None,
+                              help="directory for periodic snapshots of "
+                                   "completed jobs")
+    scenario_run.add_argument("--resume", metavar="DIR", default=None,
+                              help="resume from a checkpoint directory, "
+                                   "skipping finished jobs "
+                                   "(implies --checkpoint-dir DIR)")
+
     snm = sub.add_parser("snm", help="static noise margins of a cell")
     snm.add_argument("--tech", default="90nm")
     snm.add_argument("--vdd", type=float, default=None)
@@ -355,6 +423,7 @@ _HANDLERS = {
     "ensemble": _cmd_ensemble,
     "fig8": _cmd_fig8,
     "report": _cmd_report,
+    "scenario": _cmd_scenario,
     "snm": _cmd_snm,
     "traps": _cmd_traps,
     "retention": _cmd_retention,

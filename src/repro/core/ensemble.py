@@ -27,9 +27,11 @@ The pipeline:
    channel current — ranks the cells.
 4. **Verification**: cells whose metric clears ``screen_threshold`` are
    re-simulated through the real injected SPICE pass (with their own
-   ``vt_shifts``), optionally sharded across processes with
-   :mod:`concurrent.futures`, and classified into write errors exactly
-   like the per-cell methodology.
+   ``vt_shifts``) and classified into write errors exactly like the
+   per-cell methodology.  The fan-out is the ``sram.verify`` scenario —
+   a prepared-plan :class:`~repro.core.scenario.Scenario` executed on
+   the configured :mod:`repro.core.engine` backend — so the runner no
+   longer carries its own dispatch code.
 5. **Margins**: the nominal static noise margin is computed once;
    ``margin_samples`` adds a per-cell hold-SNM distribution.
 """
@@ -57,13 +59,15 @@ from ..traps.propensity import (
     population_propensity,
 )
 from .methodology import MethodologyConfig
-from .resilience import JOB_STATUSES, RetryPolicy, RunCheckpoint, run_jobs
+from .resilience import JOB_STATUSES, RetryPolicy, RunCheckpoint
+from .scenario import Scenario, register_scenario, run_scenario
 
 __all__ = [
     "CellEnsembleOutcome",
     "EnsembleConfig",
     "EnsembleResult",
     "EnsembleRunner",
+    "VerificationPlan",
 ]
 
 
@@ -495,6 +499,74 @@ def _verify_cell(job: tuple) -> tuple[int, int, list]:
     return index, failures, errors
 
 
+@dataclass(frozen=True)
+class VerificationPlan:
+    """The ensemble's prepared verification fan-out, as scenario input.
+
+    The runner screens the population first, so the plan arrives fully
+    materialised: one prepared ``_verify_cell`` job tuple per pending
+    cell, keyed by its cell index.  Keeping the cell indices as job
+    keys preserves the fault-site decision hashes and checkpoint record
+    indices of the pre-scenario dispatch bit-for-bit.
+    """
+
+    jobs: tuple
+    keys: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.jobs) != len(self.keys):
+            raise ValueError("jobs and keys must match one-to-one")
+
+
+def _verify_job(payload, rng: np.random.Generator):
+    """Scenario kernel: one prepared verification job.
+
+    The randomness-bearing inputs (traces, populations, mismatch) were
+    drawn during screening, so the job generator is deliberately unused
+    — verification is a deterministic function of its payload.
+    """
+    return _verify_cell(payload)
+
+
+class VerifyScenario(Scenario):
+    """``sram.verify`` — the ensemble's screened SPICE verification.
+
+    Unlike the standalone scenarios this one takes a *prepared*
+    :class:`VerificationPlan` (built by :class:`EnsembleRunner` after
+    screening); it exists so the runner's fan-out rides the same
+    scenario -> engine path as every other workload instead of private
+    dispatch code.  It has no standalone CLI configuration.
+    """
+
+    name = "sram.verify"
+    description = ("SRAM ensemble verification fan-out "
+                   "(internal: driven by EnsembleRunner)")
+    kernel = staticmethod(_verify_job)
+
+    def plan(self, config: VerificationPlan) -> list:
+        return list(config.jobs)
+
+    def keys(self, config: VerificationPlan, plan: list) -> list:
+        return [int(key) for key in config.keys]
+
+    def reduce(self, config: VerificationPlan, results) -> list:
+        return results
+
+    def fingerprint(self, config: VerificationPlan) -> dict:
+        return {"keys": [int(key) for key in config.keys]}
+
+    def encode_value(self, value):
+        index, failures, errors = value
+        return [int(index), int(failures), [int(e) for e in errors]]
+
+    def decode_value(self, encoded):
+        index, failures, errors = encoded
+        return int(index), int(failures), [int(e) for e in errors]
+
+
+register_scenario(VerifyScenario)
+
+
 @dataclass
 class EnsembleRunner:
     """Monte-Carlo ensemble driver on the batched kernel.
@@ -703,9 +775,16 @@ class EnsembleRunner:
                     checkpoint.save(config.fingerprint())
                     completed_since_save = 0
 
-        run_jobs(_verify_cell, jobs, keys=pending, workers=config.workers,
-                 policy=config.retry or RetryPolicy(), on_result=on_result,
-                 backend=config.backend)
+        # The fan-out rides the sram.verify scenario: same jobs, same
+        # cell-index keys (so fault decisions and checkpoint records
+        # are bit-identical to the pre-scenario dispatch), with the
+        # runner keeping its own richer checkpoint records via
+        # on_result rather than the scenario layer's generic ones.
+        run_scenario(VerifyScenario,
+                     VerificationPlan(jobs=tuple(jobs), keys=tuple(pending)),
+                     backend=config.backend, workers=config.workers,
+                     policy=config.retry or RetryPolicy(),
+                     on_result=on_result)
         if checkpoint is not None:
             checkpoint.save(config.fingerprint())
         phase_started = _phase_done("verification", phase_started)

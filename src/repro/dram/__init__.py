@@ -12,6 +12,8 @@ cell jump between two discrete values — the VRT signature.
 from .cell import (
     DramCellSpec,
     RetentionResult,
+    RetentionScanConfig,
+    default_vrt_cell,
     retention_distribution,
     simulate_retention,
 )
@@ -19,6 +21,8 @@ from .cell import (
 __all__ = [
     "DramCellSpec",
     "RetentionResult",
+    "RetentionScanConfig",
+    "default_vrt_cell",
     "retention_distribution",
     "simulate_retention",
 ]

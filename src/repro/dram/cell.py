@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.integrate import solve_ivp
 
+from ..core import scenario
 from ..devices.ekv import drain_current
 from ..devices.mosfet import MosfetParams
 from ..devices.technology import TECH_90NM, Technology
@@ -169,21 +170,116 @@ def simulate_retention(spec: DramCellSpec, trap: Trap,
         times=np.asarray(times), voltage=np.asarray(voltages))
 
 
+@dataclass(frozen=True)
+class RetentionScanConfig:
+    """Configuration of a VRT retention scan (the ``dram.retention``
+    scenario): ``n_trials`` independent retention measurements of one
+    ``(spec, trap)`` cell over a ``t_max`` observation window."""
+
+    spec: DramCellSpec
+    trap: Trap
+    n_trials: int
+    t_max: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.n_trials <= 0:
+            raise SimulationError("n_trials must be positive")
+
+
+def _retention_trial(payload, rng: np.random.Generator) -> float:
+    """Scenario kernel: one retention trial -> retention time [s]."""
+    spec, trap, t_max = payload
+    return simulate_retention(spec, trap, rng, t_max=t_max).retention_time
+
+
+class RetentionScanScenario(scenario.Scenario):
+    """``dram.retention`` — repeated retention trials of one DRAM cell.
+
+    Each job re-writes the cell and measures one retention time with
+    its own spawned generator, so trial *k* is reproducible in
+    isolation and the scan parallelises across any backend.  The
+    reducer returns the retention-time array (``inf`` = survived the
+    window), matching :func:`retention_distribution`.
+    """
+
+    name = "dram.retention"
+    description = "DRAM VRT scan: repeated retention trials of one cell"
+    kernel = staticmethod(_retention_trial)
+
+    def plan(self, config: RetentionScanConfig) -> list:
+        payload = (config.spec, config.trap, config.t_max)
+        return [payload] * config.n_trials
+
+    def reduce(self, config: RetentionScanConfig, results) -> np.ndarray:
+        failed = [r for r in results if not r.succeeded]
+        if failed:
+            raise SimulationError(
+                f"{len(failed)} of {len(results)} retention trials failed "
+                f"terminally (first: {failed[0].error})")
+        return np.array([float(r.value) for r in results])
+
+    def fingerprint(self, config: RetentionScanConfig) -> dict:
+        return {"n_trials": config.n_trials, "t_max": config.t_max,
+                "leakage_factor": config.spec.leakage_factor,
+                "y_tr": config.trap.y_tr, "e_tr": config.trap.e_tr}
+
+    def default_config(self, n: int | None = None, **options):
+        spec, trap = default_vrt_cell()
+        slow, _ = vrt_levels(spec)
+        options.setdefault("t_max", 3.0 * slow)
+        return RetentionScanConfig(spec=spec, trap=trap,
+                                   n_trials=n or 16, **options)
+
+    def format_value(self, config, value) -> str:
+        finite = value[np.isfinite(value)]
+        lost = f"{finite.size}/{value.size} trials lost the bit"
+        if finite.size == 0:
+            return lost
+        return (f"{lost}; retention {finite.min() * 1e6:.1f}-"
+                f"{finite.max() * 1e6:.1f} us")
+
+
+scenario.register_scenario(RetentionScanScenario)
+
+
 def retention_distribution(spec: DramCellSpec, trap: Trap,
                            rng: np.random.Generator, n_trials: int,
-                           t_max: float = 1e-3) -> np.ndarray:
+                           t_max: float = 1e-3, *, backend=None,
+                           workers: int | None = None) -> np.ndarray:
     """Repeated retention measurements of the same cell (VRT scan).
 
     Each trial re-writes the cell and measures retention; the defect
     state carries the randomness.  Returns the retention times
     (``inf`` entries mean the trial out-lasted ``t_max``).
+
+    Thin wrapper over the ``dram.retention`` scenario: ``rng`` now only
+    seeds the scan (one draw), and each trial runs on its own spawned
+    stream — so trial *k* is reproducible in isolation and the scan
+    accepts any execution ``backend``/``workers``.  Sequences differ
+    from the pre-scenario shared-generator threading at the same seed;
+    the distribution is unchanged.
     """
-    if n_trials <= 0:
-        raise SimulationError("n_trials must be positive")
-    return np.array([
-        simulate_retention(spec, trap, rng, t_max=t_max).retention_time
-        for _ in range(n_trials)
-    ])
+    run = scenario.run_scenario(
+        RetentionScanScenario,
+        RetentionScanConfig(spec=spec, trap=trap, n_trials=n_trials,
+                            t_max=t_max),
+        seed=int(rng.integers(2**63)), backend=backend, workers=workers)
+    return run.value
+
+
+def default_vrt_cell(leakage_factor: float = 3.0) \
+        -> tuple[DramCellSpec, Trap]:
+    """A cell + defect pair whose VRT bimodality shows up in a short
+    scan: the trap is placed so its time constant is commensurate with
+    the empty-state retention level (the CLI/demo configuration)."""
+    from ..traps.band import crossing_energy
+
+    spec = DramCellSpec(leakage_factor=leakage_factor)
+    slow, _ = vrt_levels(spec)
+    tech = spec.technology
+    y = np.log(3.0 * slow / (2.0 * tech.tau0)) / tech.gamma_tunnel
+    y = min(y, 0.95 * tech.t_ox)
+    return spec, Trap(y_tr=y, e_tr=crossing_energy(0.0, y, tech))
 
 
 def vrt_levels(spec: DramCellSpec) -> tuple[float, float]:

@@ -31,8 +31,12 @@ class RunTelemetry:
     ----------
     schema:
         Format version tag (``repro.telemetry/1``).
+    scenario:
+        Registry name of the scenario that produced the run (empty for
+        documents written by pre-scenario pipelines).
     n_cells, n_slots:
-        Ensemble size and pattern slots per cell.
+        Ensemble size and pattern slots per cell.  Scenario runs reuse
+        ``n_cells`` for their job count.
     backend:
         Execution backend of the verification pass (``serial`` /
         ``process`` / ``shared``; empty for pre-engine documents).
@@ -60,6 +64,7 @@ class RunTelemetry:
     """
 
     schema: str = TELEMETRY_SCHEMA
+    scenario: str = ""
     n_cells: int = 0
     n_slots: int = 0
     backend: str = ""
@@ -136,10 +141,12 @@ def telemetry_report(source) -> str:
     rows = [[status, count] for status, count in data.counts.items()]
     rows.append(["complete", "yes" if data.complete else "NO"])
     backend = f", backend {data.backend}" if data.backend else ""
+    scenario = f"scenario {data.scenario}, " if data.scenario else ""
     sections.append(format_table(
         ["status", "cells"], rows,
-        title=f"Run telemetry ({data.n_cells} cells, {data.traps} traps, "
-              f"flagged {data.flagged}, verified {data.verified}, "
+        title=f"Run telemetry ({scenario}{data.n_cells} cells, "
+              f"{data.traps} traps, flagged {data.flagged}, "
+              f"verified {data.verified}, "
               f"failing {data.failing}{backend})"))
 
     if data.kernel:

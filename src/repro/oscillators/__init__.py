@@ -16,13 +16,25 @@ from .ring import (
     measure_periods,
     run_ring_with_rtn,
 )
+from .sweeps import (
+    PllPulloutSweepConfig,
+    RingPeriodSweepConfig,
+    RingSweepPoint,
+    pll_pullout_sweep,
+    ring_period_sweep,
+)
 
 __all__ = [
+    "PllPulloutSweepConfig",
     "PllSpec",
     "RingOscillator",
+    "RingPeriodSweepConfig",
+    "RingSweepPoint",
     "build_ring_oscillator",
     "measure_periods",
+    "pll_pullout_sweep",
     "pull_out_frequency",
+    "ring_period_sweep",
     "run_ring_with_rtn",
     "simulate_pll_with_rtn",
 ]

@@ -15,6 +15,7 @@ fluctuation in operation.
 
 from .nbti import (
     DeviceReliability,
+    ReliabilityPopulationConfig,
     nbti_threshold_shift,
     rtn_fluctuation,
     sample_reliability_population,
@@ -22,6 +23,7 @@ from .nbti import (
 
 __all__ = [
     "DeviceReliability",
+    "ReliabilityPopulationConfig",
     "nbti_threshold_shift",
     "rtn_fluctuation",
     "sample_reliability_population",

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import Q_ELECTRON
+from ..core import scenario
 from ..devices.mosfet import MosfetParams
 from ..errors import ModelError
 from ..traps.profiling import TrapProfiler
@@ -87,32 +88,129 @@ class DeviceReliability:
     rtn_rms: float
 
 
+@dataclass(frozen=True)
+class ReliabilityPopulationConfig:
+    """Configuration of the ``reliability.nbti`` scenario: evaluate the
+    NBTI/RTN metric pair on ``n_devices`` independently sampled
+    devices of one geometry."""
+
+    params: MosfetParams
+    profiler: TrapProfiler
+    n_devices: int
+    stress_bias: float | None = None
+    operating_bias: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ModelError("n_devices must be positive")
+
+    @property
+    def stress(self) -> float:
+        return self.stress_bias if self.stress_bias is not None \
+            else self.params.technology.vdd
+
+    @property
+    def operating(self) -> float:
+        return self.operating_bias if self.operating_bias is not None \
+            else 0.5 * self.params.technology.vdd
+
+
+def _device_metrics(payload, rng: np.random.Generator) -> dict:
+    """Scenario kernel: sample one device, evaluate both metrics.
+
+    Returns a plain dict (JSON-able, so the record checkpoints as-is).
+    """
+    params, profiler, stress, operating = payload
+    traps = profiler.sample(rng, params.width, params.length)
+    return {
+        "n_traps": len(traps),
+        "nbti_shift": nbti_threshold_shift(params, traps, stress),
+        "rtn_rms": rtn_fluctuation(params, traps, operating),
+    }
+
+
+class ReliabilityPopulationScenario(scenario.Scenario):
+    """``reliability.nbti`` — NBTI/RTN metric pairs over a population.
+
+    One job per device, each sampling its trap population from its own
+    spawned generator; the reducer rebuilds the
+    :class:`DeviceReliability` list in device order.
+    """
+
+    name = "reliability.nbti"
+    description = "NBTI/RTN correlation metrics over a device population"
+    kernel = staticmethod(_device_metrics)
+
+    def plan(self, config: ReliabilityPopulationConfig) -> list:
+        payload = (config.params, config.profiler, config.stress,
+                   config.operating)
+        return [payload] * config.n_devices
+
+    def reduce(self, config: ReliabilityPopulationConfig, results) -> list:
+        failed = [r for r in results if not r.succeeded]
+        if failed:
+            raise ModelError(
+                f"{len(failed)} of {len(results)} devices failed "
+                f"terminally (first: {failed[0].error})")
+        return [DeviceReliability(n_traps=int(r.value["n_traps"]),
+                                  nbti_shift=float(r.value["nbti_shift"]),
+                                  rtn_rms=float(r.value["rtn_rms"]))
+                for r in results]
+
+    def fingerprint(self, config: ReliabilityPopulationConfig) -> dict:
+        return {"n_devices": config.n_devices,
+                "width": config.params.width,
+                "length": config.params.length,
+                "stress": config.stress, "operating": config.operating}
+
+    def default_config(self, n: int | None = None, **options):
+        from ..devices.technology import TECH_90NM
+
+        tech = TECH_90NM
+        return ReliabilityPopulationConfig(
+            params=MosfetParams.nominal(tech, "n"),
+            profiler=TrapProfiler(tech), n_devices=n or 64, **options)
+
+    def format_value(self, config, value) -> str:
+        text = (f"{len(value)} devices, "
+                f"mean traps {np.mean([d.n_traps for d in value]):.1f}")
+        try:
+            text += f", NBTI-RTN correlation {correlation(value):.3f}"
+        except ModelError:
+            pass
+        return text
+
+
+scenario.register_scenario(ReliabilityPopulationScenario)
+
+
 def sample_reliability_population(params: MosfetParams,
                                   profiler: TrapProfiler,
                                   rng: np.random.Generator,
                                   n_devices: int,
                                   stress_bias: float | None = None,
-                                  operating_bias: float | None = None
-                                  ) -> list:
+                                  operating_bias: float | None = None,
+                                  *, backend=None,
+                                  workers: int | None = None) -> list:
     """Sample devices and evaluate both reliability metrics on each.
 
     Returns a list of :class:`DeviceReliability`; feed it to
     ``numpy.corrcoef`` for the paper's correlation claim.
+
+    Thin wrapper over the ``reliability.nbti`` scenario: ``rng`` now
+    only seeds the run (one draw), and each device samples its traps
+    from its own spawned stream — reproducible in isolation and
+    parallelisable via ``backend``/``workers``.  Sequences differ from
+    the pre-scenario shared-generator threading at the same seed; the
+    population law is unchanged.
     """
-    if n_devices <= 0:
-        raise ModelError("n_devices must be positive")
-    tech = params.technology
-    stress = stress_bias if stress_bias is not None else tech.vdd
-    operating = operating_bias if operating_bias is not None \
-        else 0.5 * tech.vdd
-    population = []
-    for _ in range(n_devices):
-        traps = profiler.sample(rng, params.width, params.length)
-        population.append(DeviceReliability(
-            n_traps=len(traps),
-            nbti_shift=nbti_threshold_shift(params, traps, stress),
-            rtn_rms=rtn_fluctuation(params, traps, operating)))
-    return population
+    run = scenario.run_scenario(
+        ReliabilityPopulationScenario,
+        ReliabilityPopulationConfig(
+            params=params, profiler=profiler, n_devices=n_devices,
+            stress_bias=stress_bias, operating_bias=operating_bias),
+        seed=int(rng.integers(2**63)), backend=backend, workers=workers)
+    return run.value
 
 
 def correlation(population: list) -> float:

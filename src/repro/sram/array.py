@@ -10,10 +10,13 @@ aggregates slot-level outcomes into array failure statistics.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._deprecation import warn_once
+from ..core import scenario
 from ..core.methodology import MethodologyConfig, run_methodology
 from ..errors import SimulationError
 from ..traps.profiling import TrapProfiler
@@ -141,37 +144,120 @@ def sample_vt_shifts(rng: np.random.Generator, spec: SramCellSpec,
     return shifts
 
 
+def _cell_trial(payload, rng: np.random.Generator) -> dict:
+    """Scenario kernel: one mismatched cell through the methodology.
+
+    Samples this cell's threshold mismatch and trap populations from
+    the job's private generator, runs the clean + RTN passes, and
+    returns the outcome as a JSON-able dict.
+    """
+    base, pattern, avt, method_config, profiler = payload
+    shifts = sample_vt_shifts(rng, base, avt)
+    spec = dataclasses.replace(base, vt_shifts=shifts)
+    run = run_methodology(pattern, rng, spec=spec, profiler=profiler,
+                          config=method_config)
+    return {
+        "vt_shifts": shifts,
+        "trap_count": sum(len(r.traps) for r in run.rtn.values()),
+        "clean_failures": sum(1 for r in run.clean_results
+                              if r.outcome.value != "ok"),
+        "rtn_failures": sum(1 for r in run.rtn_results
+                            if r.outcome.value != "ok"),
+        "error_slots": [int(s) for s in run.failed_slots()],
+    }
+
+
+class ArrayScenario(scenario.Scenario):
+    """``sram.array`` — the per-cell Fig.-8 methodology over an array.
+
+    One job per cell; each samples its own Pelgrom mismatch and trap
+    populations from its spawned generator, so the array parallelises
+    across any backend with bit-identical outcomes.  Configured by
+    :class:`ArrayConfig`; reduces to :class:`ArrayResult`.
+    """
+
+    name = "sram.array"
+    description = "Per-cell Fig.-8 methodology over a mismatched array"
+    kernel = staticmethod(_cell_trial)
+
+    def plan(self, config: ArrayConfig) -> list:
+        base = config.base_spec
+        method_config = dataclasses.replace(
+            config.methodology or MethodologyConfig(),
+            rtn_scale=config.rtn_scale)
+        payload = (base, config.pattern, config.avt, method_config,
+                   TrapProfiler(base.technology))
+        return [payload] * config.n_cells
+
+    def reduce(self, config: ArrayConfig, results) -> ArrayResult:
+        failed = [r for r in results if not r.succeeded]
+        if failed:
+            raise SimulationError(
+                f"{len(failed)} of {len(results)} cells failed "
+                f"terminally (first: {failed[0].error})")
+        result = ArrayResult(n_slots=len(config.pattern.operations))
+        for index, job in enumerate(results):
+            record = job.value
+            result.outcomes.append(CellOutcome(
+                index=index, vt_shifts=dict(record["vt_shifts"]),
+                trap_count=int(record["trap_count"]),
+                clean_failures=int(record["clean_failures"]),
+                rtn_failures=int(record["rtn_failures"]),
+                error_slots=[int(s) for s in record["error_slots"]]))
+        return result
+
+    def fingerprint(self, config: ArrayConfig) -> dict:
+        return {"n_cells": config.n_cells, "rtn_scale": config.rtn_scale,
+                "avt": config.avt,
+                "n_slots": len(config.pattern.operations)}
+
+    def default_config(self, n: int | None = None, **options):
+        from ..core.experiments import fig8_cell_spec, fig8_pattern
+
+        options.setdefault("rtn_scale", 30.0)
+        return ArrayConfig(n_cells=n or 8, base_spec=fig8_cell_spec(),
+                           pattern=fig8_pattern(bits=(1,)), **options)
+
+    def format_value(self, config, value) -> str:
+        return (f"{value.failing_cells}/{value.n_cells} cells failing "
+                f"under RTN (slot rate {value.slot_failure_rate:.3f}, "
+                f"baseline {value.baseline_failure_rate:.3f})")
+
+
+scenario.register_scenario(ArrayScenario)
+
+
 def simulate_array(config: ArrayConfig, rng: np.random.Generator,
                    profiler: TrapProfiler | None = None) -> ArrayResult:
     """Run the per-cell methodology across a sampled array.
 
-    Each cell gets fresh threshold mismatch and a fresh trap population;
-    both are drawn from the shared generator so one seed reproduces the
-    whole array.
-    """
-    import dataclasses
+    .. deprecated::
+        The scalar loop now routes through the ``sram.array`` scenario
+        on the serial backend; call
+        ``run_scenario("sram.array", config, seed=...)`` directly to
+        pick a backend, workers, retries and checkpointing — or
+        :func:`simulate_array_fast` for the batched screened pipeline.
 
-    base = config.base_spec
-    profiler = profiler or TrapProfiler(base.technology)
-    method_config = config.methodology or MethodologyConfig()
-    method_config = dataclasses.replace(method_config,
-                                        rtn_scale=config.rtn_scale)
-    result = ArrayResult(n_slots=len(config.pattern.operations))
-    for index in range(config.n_cells):
-        shifts = sample_vt_shifts(rng, base, config.avt)
-        spec = dataclasses.replace(base, vt_shifts=shifts)
-        run = run_methodology(config.pattern, rng, spec=spec,
-                              profiler=profiler, config=method_config)
-        clean_failures = sum(1 for r in run.clean_results
-                             if r.outcome.value != "ok")
-        rtn_failures = sum(1 for r in run.rtn_results
-                           if r.outcome.value != "ok")
-        result.outcomes.append(CellOutcome(
-            index=index, vt_shifts=shifts,
-            trap_count=sum(len(r.traps) for r in run.rtn.values()),
-            clean_failures=clean_failures, rtn_failures=rtn_failures,
-            error_slots=run.failed_slots()))
-    return result
+    Each cell draws its mismatch and traps from its own spawned
+    generator (seeded by one draw from ``rng``), so one seed still
+    reproduces the whole array, and the result is bit-identical to the
+    scenario path by construction.
+    """
+    warn_once(
+        "simulate_array is deprecated: use "
+        "repro.core.scenario.run_scenario('sram.array', config, seed=...) "
+        "(any backend) or simulate_array_fast (batched screened pipeline)")
+    if profiler is not None \
+            and profiler.technology is not config.base_spec.technology:
+        # The scenario plan derives the profiler from the spec; a
+        # custom one for a *different* card cannot ride the plan.
+        raise SimulationError(
+            "simulate_array's profiler must match the cell technology; "
+            "build the scenario plan directly for custom profilers")
+    run = scenario.run_scenario(ArrayScenario, config,
+                                seed=int(rng.integers(2**63)),
+                                backend="serial")
+    return run.value
 
 
 def simulate_array_fast(config: ArrayConfig, rng: np.random.Generator,

@@ -26,6 +26,11 @@ The ensemble engine and the fault-tolerant executor expose a handful of
     worker just before it decodes a job payload from the arena (models
     a corrupted payload descriptor; exercises the shared backend's
     retry path without touching the job function).
+``scenario``
+    Raise a :class:`~repro.errors.SimulationError` in the scenario job
+    shim, before the kernel runs, keyed by ``(scenario name, job
+    index)`` — the workload-agnostic failure every migrated scenario
+    inherits through :func:`repro.core.scenario.execute_scenario_job`.
 
 Decisions are *deterministic*: each is a hash of
 ``(seed, site, key, attempt)``, so a given cell faults (or not)
@@ -95,6 +100,9 @@ class FaultPlan:
     arena_rate:
         Probability an ``arena`` site fails a shared-memory payload
         decode.
+    scenario_rate:
+        Probability a ``scenario`` site fails a scenario job before its
+        kernel runs.
     acceptance_bias:
         Additive perturbation of the batched kernel's fill-acceptance
         probability (an off-by-epsilon *physics* bug, not a crash).
@@ -113,6 +121,7 @@ class FaultPlan:
     nan_rate: float = 0.0
     batch_rate: float = 0.0
     arena_rate: float = 0.0
+    scenario_rate: float = 0.0
     acceptance_bias: float = 0.0
 
     def rate_for(self, site: str) -> float:
@@ -123,6 +132,7 @@ class FaultPlan:
             "nan": self.nan_rate,
             "batch": self.batch_rate,
             "arena": self.arena_rate,
+            "scenario": self.scenario_rate,
         }.get(site, 0.0)
 
     def decide(self, site: str, key: object, attempt: int = 0) -> bool:
@@ -189,6 +199,10 @@ def fire(site: str, key: object, attempt: int = 0) -> None:
     if site == "arena":
         raise SimulationError(
             f"injected arena decode failure (job {key!r}, "
+            f"attempt {attempt})")
+    if site == "scenario":
+        raise SimulationError(
+            f"injected scenario job failure (job {key!r}, "
             f"attempt {attempt})")
 
 

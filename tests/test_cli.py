@@ -131,3 +131,60 @@ class TestCommands:
         assert main(["fig8", "--seed", "2", "--scale", "30"]) == 2
         out = capsys.readouterr().out
         assert "cell compromised: True" in out
+
+
+class TestScenarioCommand:
+    def test_scenario_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_run_requires_a_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run"])
+
+    def test_scenario_run_rejects_unknown_backends(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "run", "oscillators.pll",
+                 "--backend", "quantum"])
+
+    def test_list_shows_every_registered_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sram.array", "sram.verify", "dram.retention",
+                     "reliability.nbti", "oscillators.ring",
+                     "oscillators.pll"):
+            assert name in out
+        # The embedded-only verification fan-out is flagged as such.
+        assert "internal" in out
+
+    def test_run_executes_a_sweep(self, capsys):
+        assert main(["scenario", "run", "oscillators.pll",
+                     "--n", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario oscillators.pll (2 jobs" in out
+        assert "backend serial" in out
+        assert "MHz" in out
+
+    def test_run_honours_backend_and_workers(self, capsys):
+        assert main(["scenario", "run", "oscillators.pll", "--n", "2",
+                     "--backend", "process", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend process" in out
+
+    def test_run_refuses_internal_scenarios(self, capsys):
+        assert main(["scenario", "run", "sram.verify"]) == 2
+        err = capsys.readouterr().err
+        assert "no standalone configuration" in err
+
+    def test_run_checkpoint_then_resume(self, capsys, tmp_path):
+        directory = str(tmp_path / "run")
+        base = ["scenario", "run", "oscillators.pll", "--n", "2",
+                "--seed", "3"]
+        assert main(base + ["--checkpoint-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert f"checkpoint: {directory}" in out
+
+        assert main(base + ["--resume", directory]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out and "| 2" in out
